@@ -1,0 +1,76 @@
+// Figure 5b: YCSB workload A (50/50, zipfian) latency vs data size for
+// eLSM-P2-mmap, eLSM-P1 and the Eleos baseline.
+//
+// Expected shape: the P2/P1 gap widens with data size (toward ~7x at 3 GB);
+// Eleos is slowest and stops scaling at its 1 GB-equivalent cap.
+#include "bench_common.h"
+
+#include "baseline/eleos_store.h"
+
+using namespace elsm;
+using namespace elsm::bench;
+
+namespace {
+
+// Loads an Eleos store and runs workload A over it; returns mean us/op or
+// a negative value if the capacity cap was hit during load.
+double EleosWorkloadA(uint64_t records, uint64_t ops) {
+  sgx::CostModel m;
+  m.epc_bytes = 1 << 20;
+  auto enclave = std::make_shared<sgx::Enclave>(m, true);
+  baseline::EleosOptions options;
+  options.capacity_bytes = ScaledBytes(1024);  // the 1 GB scaling cap
+  baseline::EleosStore store(options, enclave);
+  for (uint64_t i = 0; i < records; ++i) {
+    if (!store.Put(ycsb::MakeKey(i, 16), ycsb::MakeValue(i, 100)).ok()) {
+      return -1.0;
+    }
+  }
+  ycsb::EleosKv kv(&store, enclave.get());
+  auto spec = ycsb::WorkloadSpec::A();
+  spec.record_count = records;
+  spec.operation_count = ops;
+  ycsb::YcsbRunner runner(spec);
+  auto stats = runner.Run(kv);
+  if (!stats.ok() || stats.value().failures > 0) return -1.0;
+  return stats.value().MeanLatencyUs();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 5b", "YCSB-A latency vs data size (zipfian)",
+              "P2/P1 gap grows with data (to ~7x at 3 GB); Eleos slowest and "
+              "capped at 1 GB");
+
+  const double paper_gb[] = {0.6, 0.8, 1.0, 2.0, 3.0};
+  const uint64_t kOps = 3000;
+
+  std::printf("%10s %14s %14s %12s %10s\n", "data(GB)", "P2-mmap(us)",
+              "P1(us)", "Eleos(us)", "P1/P2");
+  for (double gb : paper_gb) {
+    const uint64_t records = RecordsFor(gb * 1024);
+
+    Options p2 = BaseOptions(Mode::kP2);
+    p2.name = "f5b-p2";
+    Store p2_store = BuildStore(p2, records);
+    const double p2_us =
+        ComposedMixLatencyUs(p2_store, ycsb::WorkloadSpec::A(), records, kOps);
+
+    Options p1 = BaseOptions(Mode::kP1);
+    p1.name = "f5b-p1";
+    Store p1_store = BuildStore(p1, records);
+    const double p1_us =
+        ComposedMixLatencyUs(p1_store, ycsb::WorkloadSpec::A(), records, kOps);
+
+    const double eleos_us = EleosWorkloadA(records, kOps);
+    if (eleos_us < 0) {
+      std::printf("%10.1f %14.2f %14.2f %12s %9.2fx\n", gb, p2_us, p1_us,
+                  "capped", p1_us / p2_us);
+    } else {
+      std::printf("%10.1f %14.2f %14.2f %12.2f %9.2fx\n", gb, p2_us, p1_us,
+                  eleos_us, p1_us / p2_us);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 5c: operation latency under Uniform / Zipfian / Latest key
+// distributions (YCSB-A mix, 3 GB data).
+//
+// Expected shape: eLSM-P1 is hurt most by Uniform (largest working set ⇒
+// heaviest enclave paging) and least by Latest (small, recent working set);
+// eLSM-P2 is comparatively insensitive to the distribution.
+#include "bench_common.h"
+
+using namespace elsm;
+using namespace elsm::bench;
+
+int main() {
+  PrintHeader("Figure 5c", "latency vs key distribution (YCSB-A mix, 3 GB)",
+              "P1 worst under Uniform, best under Latest; P2 insensitive");
+
+  const uint64_t records = RecordsFor(3 * 1024);
+  const uint64_t kOps = 3000;
+
+  Options p2 = BaseOptions(Mode::kP2);
+  p2.name = "f5c-p2";
+  Store p2_store = BuildStore(p2, records);
+
+  Options p1 = BaseOptions(Mode::kP1);
+  p1.name = "f5c-p1";
+  Store p1_store = BuildStore(p1, records);
+
+  const ycsb::KeyDistribution dists[] = {ycsb::KeyDistribution::kUniform,
+                                         ycsb::KeyDistribution::kZipfian,
+                                         ycsb::KeyDistribution::kLatest};
+
+  std::printf("%12s %14s %14s %10s\n", "distribution", "P2-mmap(us)",
+              "P1(us)", "P1/P2");
+  for (auto dist : dists) {
+    auto spec = ycsb::WorkloadSpec::A();
+    spec.distribution = dist;
+    const double p2_us = ComposedMixLatencyUs(p2_store, spec, records, kOps);
+    const double p1_us = ComposedMixLatencyUs(p1_store, spec, records, kOps);
+    std::printf("%12s %14.2f %14.2f %9.2fx\n", ycsb::KeyDistributionName(dist),
+                p2_us, p1_us, p1_us / p2_us);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 6a: read-only latency vs data size (8 MB .. 3 GB) for eLSM-P2-mmap,
+// eLSM-P1, Eleos and the unsecured buffer-outside baseline.
+//
+// Expected shape: below the EPC (128 MB-equivalent) P1/Eleos beat P2 (no
+// proof work); past it they climb steeply while P2 stays ~flat; Eleos stops
+// at its 1 GB cap; unsecured is the floor.
+#include "bench_common.h"
+
+#include "baseline/eleos_store.h"
+
+using namespace elsm;
+using namespace elsm::bench;
+
+namespace {
+
+double EleosReadLatency(uint64_t records, uint64_t ops) {
+  sgx::CostModel m;
+  m.epc_bytes = 1 << 20;
+  auto enclave = std::make_shared<sgx::Enclave>(m, true);
+  baseline::EleosOptions options;
+  options.capacity_bytes = ScaledBytes(1024);
+  baseline::EleosStore store(options, enclave);
+  for (uint64_t i = 0; i < records; ++i) {
+    if (!store.Put(ycsb::MakeKey(i, 16), ycsb::MakeValue(i, 100)).ok()) {
+      return -1.0;
+    }
+  }
+  Rng rng(0xbeef);
+  const uint64_t start = enclave->now_ns();
+  for (uint64_t i = 0; i < ops; ++i) {
+    (void)store.Get(ycsb::MakeKey(rng.Uniform(records), 16));
+  }
+  return double(enclave->now_ns() - start) / double(ops) / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 6a", "read latency vs data size (read-only, uniform)",
+              "P1/Eleos fastest below the EPC, then climb; P2-mmap ~flat; "
+              "Eleos capped at 1 GB; unsecured is the floor");
+
+  const double paper_mb[] = {8, 64, 128, 256, 512, 1024, 2048, 3072};
+  const uint64_t kOps = 2000;
+
+  std::printf("%10s %14s %10s %12s %16s\n", "data(MB)", "P2-mmap(us)",
+              "P1(us)", "Eleos(us)", "unsecured(us)");
+  for (double mb : paper_mb) {
+    const uint64_t records = RecordsFor(mb);
+
+    Options p2 = BaseOptions(Mode::kP2);
+    p2.name = "f6a-p2";
+    Store p2_store = BuildStore(p2, records);
+    const double p2_us = MeasureReadLatencyUs(*p2_store.db, records, kOps);
+
+    Options p1 = BaseOptions(Mode::kP1);
+    p1.name = "f6a-p1";
+    Store p1_store = BuildStore(p1, records);
+    const double p1_us = MeasureReadLatencyUs(*p1_store.db, records, kOps);
+
+    const double eleos_us = EleosReadLatency(records, kOps);
+
+    Options raw = BaseOptions(Mode::kUnsecured);
+    raw.name = "f6a-raw";
+    raw.read_path = lsm::ReadPathKind::kBuffer;
+    Store raw_store = BuildStore(raw, records);
+    const double raw_us = MeasureReadLatencyUs(*raw_store.db, records, kOps);
+
+    if (eleos_us < 0) {
+      std::printf("%10.0f %14.2f %10.2f %12s %16.2f\n", mb, p2_us, p1_us,
+                  "capped", raw_us);
+    } else {
+      std::printf("%10.0f %14.2f %10.2f %12.2f %16.2f\n", mb, p2_us, p1_us,
+                  eleos_us, raw_us);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 7a: write latency (compaction on, amortized into puts) vs data
+// size for eLSM-P2-mmap, eLSM-P1 and Eleos.
+//
+// Expected shape: P1 is the fastest writer (hardware protection, no proof
+// building); P2 pays ~1.3-2.3x of P1 for authenticated compaction and
+// embedded proofs; Eleos (update-in-place) is slowest and capped at 1 GB.
+#include "bench_common.h"
+
+#include "baseline/eleos_store.h"
+
+using namespace elsm;
+using namespace elsm::bench;
+
+namespace {
+
+double EleosWriteLatency(uint64_t records, uint64_t ops) {
+  sgx::CostModel m;
+  m.epc_bytes = 1 << 20;
+  auto enclave = std::make_shared<sgx::Enclave>(m, true);
+  baseline::EleosOptions options;
+  options.capacity_bytes = ScaledBytes(1024);
+  baseline::EleosStore store(options, enclave);
+  for (uint64_t i = 0; i < records; ++i) {
+    if (!store.Put(ycsb::MakeKey(i, 16), ycsb::MakeValue(i, 100)).ok()) {
+      return -1.0;
+    }
+  }
+  Rng rng(0xfeed);
+  const uint64_t start = enclave->now_ns();
+  for (uint64_t i = 0; i < ops; ++i) {
+    const uint64_t k = rng.Uniform(records);
+    if (!store.Put(ycsb::MakeKey(k, 16), ycsb::MakeValue(k + i, 100)).ok()) {
+      return -1.0;
+    }
+  }
+  return double(enclave->now_ns() - start) / double(ops) / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 7a", "write latency vs data size (compaction on)",
+              "P1 fastest; P2 ~1.3-2.3x of P1; Eleos slowest, capped at 1 GB");
+
+  const double paper_gb[] = {0.2, 1.0, 2.0, 3.0, 4.0};
+  const uint64_t kOps = 4000;
+
+  std::printf("%10s %14s %10s %12s %10s\n", "data(GB)", "P2-mmap(us)",
+              "P1(us)", "Eleos(us)", "P2/P1");
+  for (double gb : paper_gb) {
+    const uint64_t records = RecordsFor(gb * 1024);
+
+    Options p2 = BaseOptions(Mode::kP2);
+    p2.name = "f7a-p2";
+    Store p2_store = BuildStore(p2, records);
+    const double p2_us = MeasureWriteLatencyUs(*p2_store.db, records, kOps);
+
+    Options p1 = BaseOptions(Mode::kP1);
+    p1.name = "f7a-p1";
+    Store p1_store = BuildStore(p1, records);
+    const double p1_us = MeasureWriteLatencyUs(*p1_store.db, records, kOps);
+
+    const double eleos_us = EleosWriteLatency(records, kOps);
+    if (eleos_us < 0) {
+      std::printf("%10.1f %14.2f %10.2f %12s %9.2fx\n", gb, p2_us, p1_us,
+                  "capped", p2_us / p1_us);
+    } else {
+      std::printf("%10.1f %14.2f %10.2f %12.2f %9.2fx\n", gb, p2_us, p1_us,
+                  eleos_us, p2_us / p1_us);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 7b: write latency with vs without COMPACTION for eLSM-P2 and
+// eLSM-P1.
+//
+// Expected shape: enabling compaction costs ~2-4x on the write path (the
+// merge work amortizes into every put); with or without it, P2 writes are
+// slower than P1 (embedded-proof construction).
+#include "bench_common.h"
+
+using namespace elsm;
+using namespace elsm::bench;
+
+namespace {
+
+double WriteLatency(Mode mode, const char* name, uint64_t records,
+                    uint64_t ops, bool compaction) {
+  Options o = BaseOptions(mode);
+  o.name = name;
+  Store store = BuildStore(o, records);  // loaded with compaction on
+  if (!compaction) {
+    Options off = o;
+    off.compaction_enabled = false;
+    Reopen(store, off);
+  }
+  return MeasureWriteLatencyUs(*store.db, records, ops);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 7b", "write latency with/without compaction",
+              "compaction costs ~2-4x on the write path; P2 > P1 either way");
+
+  const double paper_gb[] = {0.2, 1.0, 2.0, 3.0, 4.0};
+  const uint64_t kOps = 4000;
+
+  std::printf("%10s %12s %12s %14s %14s %12s\n", "data(GB)", "P2 w(us)",
+              "P1 w(us)", "P2 w/o(us)", "P1 w/o(us)", "P2 w/(w/o)");
+  for (double gb : paper_gb) {
+    const uint64_t records = RecordsFor(gb * 1024);
+    const double p2_on = WriteLatency(Mode::kP2, "f7b-p2on", records, kOps, true);
+    const double p1_on = WriteLatency(Mode::kP1, "f7b-p1on", records, kOps, true);
+    const double p2_off =
+        WriteLatency(Mode::kP2, "f7b-p2off", records, kOps, false);
+    const double p1_off =
+        WriteLatency(Mode::kP1, "f7b-p1off", records, kOps, false);
+    std::printf("%10.1f %12.2f %12.2f %14.2f %14.2f %11.2fx\n", gb, p2_on,
+                p1_on, p2_off, p1_off, p2_on / p2_off);
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+// YCSB command-line tool: run any core workload (A-F) against any engine
+// (p2, p2-buffer, p1, unsecured, eleos, btree) at a chosen scale and print
+// load/run statistics — the interactive counterpart of the bench/ binaries.
+//
+//   $ ./build/examples/ycsb_tool [workload] [engine] [records] [ops]
+//   $ ./build/examples/ycsb_tool A p2 20000 10000
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "baseline/eleos_store.h"
+#include "baseline/merkle_btree.h"
+#include "elsm/elsm_db.h"
+#include "ycsb/kv_interface.h"
+#include "ycsb/runner.h"
+
+using namespace elsm;
+using namespace elsm::ycsb;
+
+namespace {
+
+WorkloadSpec PickWorkload(const char* name) {
+  switch (name[0]) {
+    case 'A':
+      return WorkloadSpec::A();
+    case 'B':
+      return WorkloadSpec::B();
+    case 'C':
+      return WorkloadSpec::C();
+    case 'D':
+      return WorkloadSpec::D();
+    case 'E':
+      return WorkloadSpec::E();
+    case 'F':
+      return WorkloadSpec::F();
+    default:
+      std::fprintf(stderr, "unknown workload %s, using A\n", name);
+      return WorkloadSpec::A();
+  }
+}
+
+void PrintStats(const char* phase, const RunStats& stats) {
+  std::printf("%-5s ops=%-8llu mean=%8.2fus p50=%8.2fus p95=%8.2fus "
+              "p99=%8.2fus\n",
+              phase, (unsigned long long)stats.ops, stats.MeanLatencyUs(),
+              stats.overall.Percentile(50) / 1000.0,
+              stats.overall.Percentile(95) / 1000.0,
+              stats.overall.Percentile(99) / 1000.0);
+  if (stats.reads.count() > 0) {
+    std::printf("      reads:  %s\n", stats.reads.Summary().c_str());
+  }
+  if (stats.writes.count() > 0) {
+    std::printf("      writes: %s\n", stats.writes.Summary().c_str());
+  }
+  if (stats.scans.count() > 0) {
+    std::printf("      scans:  %s\n", stats.scans.Summary().c_str());
+  }
+  if (stats.failures > 0) {
+    std::printf("      stopped after %llu failures (capacity cap?)\n",
+                (unsigned long long)stats.failures);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* workload_name = argc > 1 ? argv[1] : "A";
+  const char* engine_name = argc > 2 ? argv[2] : "p2";
+  const uint64_t records = argc > 3 ? strtoull(argv[3], nullptr, 10) : 20000;
+  const uint64_t ops = argc > 4 ? strtoull(argv[4], nullptr, 10) : 10000;
+
+  WorkloadSpec spec = PickWorkload(workload_name);
+  spec.record_count = records;
+  spec.operation_count = ops;
+
+  std::printf("YCSB workload %s on engine %s: %llu records, %llu ops\n",
+              spec.name.c_str(), engine_name, (unsigned long long)records,
+              (unsigned long long)ops);
+
+  YcsbRunner runner(spec);
+
+  std::unique_ptr<ElsmDb> db;
+  std::unique_ptr<baseline::EleosStore> eleos;
+  std::unique_ptr<baseline::MerkleBTree> btree;
+  std::shared_ptr<sgx::Enclave> enclave;
+  std::unique_ptr<KvInterface> kv;
+
+  if (std::strcmp(engine_name, "eleos") == 0) {
+    enclave = std::make_shared<sgx::Enclave>(sgx::CostModel{}, true);
+    eleos = std::make_unique<baseline::EleosStore>(baseline::EleosOptions{},
+                                                   enclave);
+    kv = std::make_unique<EleosKv>(eleos.get(), enclave.get());
+  } else if (std::strcmp(engine_name, "btree") == 0) {
+    enclave = std::make_shared<sgx::Enclave>(sgx::CostModel{}, true);
+    btree = std::make_unique<baseline::MerkleBTree>(
+        baseline::MerkleBTreeOptions{}, enclave);
+    kv = std::make_unique<MerkleBTreeKv>(btree.get(), enclave.get());
+  } else {
+    Options options;
+    options.name = "ycsb";
+    if (std::strcmp(engine_name, "p1") == 0) {
+      options.mode = Mode::kP1;
+    } else if (std::strcmp(engine_name, "unsecured") == 0) {
+      options.mode = Mode::kUnsecured;
+    } else {
+      options.mode = Mode::kP2;
+      options.read_path = std::strcmp(engine_name, "p2-buffer") == 0
+                              ? lsm::ReadPathKind::kBuffer
+                              : lsm::ReadPathKind::kMmap;
+    }
+    auto opened = ElsmDb::Create(options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(opened).value();
+    kv = std::make_unique<ElsmKv>(db.get());
+  }
+
+  const uint64_t load_start = kv->now_ns();
+  Status s = runner.Load(*kv);
+  if (!s.ok()) {
+    std::printf("load stopped: %s\n", s.ToString().c_str());
+    if (!s.IsCapacityExceeded()) return 1;
+  }
+  std::printf("load phase: %.2f simulated ms\n",
+              double(kv->now_ns() - load_start) / 1e6);
+
+  auto stats = runner.Run(*kv);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  PrintStats("run", stats.value());
+
+  if (db != nullptr) {
+    const auto counters = db->enclave().counters();
+    std::printf("enclave: ecalls=%llu ocalls=%llu faults=%llu hashed=%.1fKiB "
+                "levels=%zu\n",
+                (unsigned long long)counters.ecalls,
+                (unsigned long long)counters.ocalls,
+                (unsigned long long)counters.epc_faults,
+                double(counters.bytes_hashed) / 1024.0,
+                db->engine().levels().size());
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "auth/adversary.h"
+
+namespace elsm::auth {
+namespace {
+
+AssembledLevel* HitLevel(AssembledGet* proof) {
+  for (auto& level : proof->levels) {
+    if (level.found && !level.chain.empty()) return &level;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool Adversary::ForgeResultValue(AssembledGet* proof) {
+  AssembledLevel* level = HitLevel(proof);
+  if (level == nullptr) return false;
+  std::string& core = level->chain.back().entry.core;
+  if (core.empty()) return false;
+  core[core.size() / 2] = char(core[core.size() / 2] ^ 0x40);
+  return true;
+}
+
+bool Adversary::ServeStaleWithinLevel(AssembledGet* proof) {
+  AssembledLevel* level = HitLevel(proof);
+  if (level == nullptr) return false;
+  // The honest chain is [newest .. result]. A staleness attack serves an
+  // older record while *hiding* the newer one: strip the chain down to the
+  // stale record only, keeping its (legitimate) embedded proof.
+  if (level->chain.size() < 2) {
+    // Need an older version: pull it from the suffix — not reconstructible
+    // without the data, so the attack needs a chain of >= 2 records.
+    return false;
+  }
+  AssembledEntry stale = level->chain.back();
+  level->chain.clear();
+  level->chain.push_back(std::move(stale));
+  level->chain_path.leaf_index = level->chain.front().proof.leaf_index;
+  return true;
+}
+
+bool Adversary::SuppressShallowHit(AssembledGet* proof) {
+  // Rewrite the shallowest found level as "no result here", forcing the
+  // verifier to look for (absent) non-membership witnesses.
+  AssembledLevel* level = HitLevel(proof);
+  if (level == nullptr) return false;
+  level->found = false;
+  level->chain.clear();
+  level->pred.reset();
+  level->succ.reset();
+  return true;
+}
+
+bool Adversary::ClaimMissingKey(AssembledGet* proof) {
+  bool changed = false;
+  for (auto& level : proof->levels) {
+    if (!level.chain.empty()) {
+      level.found = false;
+      level.chain.clear();
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool Adversary::DropScanRecord(AssembledScan* proof) {
+  for (auto& level : proof->levels) {
+    if (!level.heads.empty()) {
+      level.heads.erase(level.heads.begin() + level.heads.size() / 2);
+      return true;
+    }
+  }
+  if (!proof->memtable_records.empty()) {
+    // Memtable records are trusted in the model; dropping them simulates a
+    // buggy enclave, not a host attack — still useful for tests.
+    proof->memtable_records.pop_back();
+    return true;
+  }
+  return false;
+}
+
+bool Adversary::CorruptFile(storage::SimFs& fs, const std::string& name,
+                            size_t offset) {
+  auto blob = fs.MutableBlob(name);
+  if (blob == nullptr || blob->empty()) return false;
+  const size_t pos = offset % blob->size();
+  (*blob)[pos] = char((*blob)[pos] ^ 0x01);
+  return true;
+}
+
+}  // namespace elsm::auth

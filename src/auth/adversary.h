@@ -1,0 +1,46 @@
+// Adversary harness (paper §3.3 threats): canned attacks a malicious host
+// can mount on assembled proofs or on the untrusted storage, used by the
+// security test-suite to show VRFY rejects each one.
+//
+// The mutators operate on AssembledGet/AssembledScan — i.e. between the
+// honest engine's response and the enclave's verifier, exactly where the
+// untrusted host sits.
+#pragma once
+
+#include <string>
+
+#include "auth/proof.h"
+#include "storage/simfs.h"
+
+namespace elsm::auth {
+
+struct Adversary {
+  // --- integrity -----------------------------------------------------------
+  // Flips a byte inside the result record's canonical encoding.
+  static bool ForgeResultValue(AssembledGet* proof);
+
+  // --- freshness -----------------------------------------------------------
+  // Presents the second-newest chain record as the result, hiding the
+  // newest (Theorem 5.3 Case 1). Requires a chain of length >= 2 — the
+  // caller arranges overwrites. Returns false if no such chain exists.
+  static bool ServeStaleWithinLevel(AssembledGet* proof);
+  // Drops the hit level's proof entirely and re-labels a deeper "found"
+  // level... impossible without deeper data, so instead: presents a
+  // non-membership claim for a level that actually holds the key
+  // (Case 2a: the fresher shallow record is suppressed).
+  static bool SuppressShallowHit(AssembledGet* proof);
+
+  // --- completeness ----------------------------------------------------------
+  // Converts a found result into a claimed miss by clearing the chain (the
+  // host "forgets" the record but keeps the rest of the proof).
+  static bool ClaimMissingKey(AssembledGet* proof);
+  // Removes one record from a scan result (range completeness, §5.4).
+  static bool DropScanRecord(AssembledScan* proof);
+
+  // --- storage tampering ------------------------------------------------------
+  // Flips one byte of an SSTable / sidecar file on the untrusted disk.
+  static bool CorruptFile(storage::SimFs& fs, const std::string& name,
+                          size_t offset = 0);
+};
+
+}  // namespace elsm::auth

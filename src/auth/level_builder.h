@@ -1,0 +1,35 @@
+// Builds the eLSM-P2 digest for a freshly compacted level (paper §5.5.2
+// steps b and c): per-key hash chains over the sorted run, a Merkle tree
+// over the chain digests, embedded-proof blobs for every record, and the
+// serialized tree sidecar.
+//
+// Hash work is real (the root is a genuine SHA-256 Merkle root over the
+// records) and is charged on the enclave cost model.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "lsm/engine.h"
+#include "sgxsim/enclave.h"
+
+namespace elsm::auth {
+
+struct LevelDigest {
+  crypto::Hash256 root = crypto::kZeroHash;
+  uint64_t leaf_count = 0;
+};
+
+// Computes only the digest of a sorted run — used to re-authenticate
+// compaction *inputs* against the enclave-held root (Fig. 4 lines 31-33).
+LevelDigest DigestRun(const std::vector<lsm::RawEntry>& run,
+                      sgx::Enclave& enclave);
+
+// Computes the digest *and* the seal (proof blobs + sidecar) for compaction
+// output. `embed_full_paths` additionally embeds each record's full Merkle
+// path into its blob (the paper's literal layout).
+Result<lsm::CompactionSeal> BuildLevelSeal(
+    const std::vector<lsm::Record>& output, sgx::Enclave& enclave,
+    bool embed_full_paths);
+
+}  // namespace elsm::auth

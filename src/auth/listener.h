@@ -1,0 +1,42 @@
+// Authenticated COMPACTION as a pure add-on (paper §5.5.2, §5.5.3, Fig. 4).
+//
+// The listener reconstructs each input run's Merkle digest and compares it
+// with the enclave-held root for that level (input authentication); on
+// output it builds the new level's digest, embedded proofs and tree sidecar
+// via BuildLevelSeal. The LsmEngine never learns what the seal means —
+// exactly the RocksDB-callback integration the paper claims.
+#pragma once
+
+#include "auth/level_builder.h"
+#include "lsm/engine.h"
+#include "sgxsim/enclave.h"
+
+namespace elsm::auth {
+
+class AuthCompactionListener : public lsm::CompactionListener {
+ public:
+  AuthCompactionListener(sgx::Enclave* enclave, bool embed_full_paths)
+      : enclave_(enclave), embed_full_paths_(embed_full_paths) {}
+
+  Status OnInputRun(int src_depth, const std::vector<lsm::RawEntry>& run,
+                    const lsm::LevelMeta* meta) override {
+    if (src_depth < 0 || meta == nullptr) return Status::Ok();  // memtable
+    const LevelDigest digest = DigestRun(run, *enclave_);
+    if (digest.root != meta->root || digest.leaf_count != meta->leaf_count) {
+      return Status::AuthFailure("compaction input digest mismatch at level " +
+                                 std::to_string(src_depth));
+    }
+    return Status::Ok();
+  }
+
+  Result<lsm::CompactionSeal> OnOutput(
+      const std::vector<lsm::Record>& output) override {
+    return BuildLevelSeal(output, *enclave_, embed_full_paths_);
+  }
+
+ private:
+  sgx::Enclave* enclave_;
+  bool embed_full_paths_;
+};
+
+}  // namespace elsm::auth

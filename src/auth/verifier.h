@@ -1,0 +1,63 @@
+// In-enclave VRFY algorithms (paper §5.3, §5.3.1, §5.4).
+//
+// VerifyGet walks the assembled proof shallow→deep and enforces:
+//   * integrity      — records re-decoded from the exact hashed bytes; leaf
+//                      digests recomputed through the per-key hash chain;
+//   * freshness      — every chain entry ahead of the result must be newer
+//                      than the query timestamp (Case 1 of Theorem 5.3);
+//                      shallower levels need non-membership (Case 2a);
+//                      deeper levels need nothing (Case 2b / Lemma 5.4);
+//   * completeness   — non-membership = two adjacent leaves bracketing the
+//                      key (or boundary leaves), leaf adjacency checked
+//                      against the enclave-held leaf count;
+//   * bloom skips    — re-checked against the enclave-resident filters.
+//
+// VerifyScan additionally checks leaf-contiguity of the returned key groups
+// plus boundary records and a Merkle range proof per level (§5.4).
+//
+// All roots/leaf counts/blooms come from the caller's *enclave-held*
+// LevelMeta snapshot — never from the proof itself.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "auth/proof.h"
+#include "common/status.h"
+#include "lsm/engine.h"
+#include "sgxsim/enclave.h"
+
+namespace elsm::auth {
+
+class Verifier {
+ public:
+  explicit Verifier(sgx::Enclave* enclave) : enclave_(enclave) {}
+
+  // Returns the authenticated newest record visible at ts_max (which may be
+  // a tombstone — the caller maps it to "absent"), or nullopt for an
+  // authenticated miss. AuthFailure means the host misbehaved.
+  Result<std::optional<lsm::Record>> VerifyGet(
+      std::string_view key, uint64_t ts_max, const AssembledGet& proof,
+      const std::vector<lsm::LevelMeta>& levels) const;
+
+  // Returns the authenticated visible records in [k1, k2] (tombstones
+  // filtered), or AuthFailure.
+  Result<std::vector<lsm::Record>> VerifyScan(
+      std::string_view k1, std::string_view k2, const AssembledScan& proof,
+      const std::vector<lsm::LevelMeta>& levels) const;
+
+ private:
+  Status VerifyLevelMembership(std::string_view key, uint64_t ts_max,
+                               const AssembledLevel& al,
+                               const lsm::LevelMeta& meta) const;
+  Status VerifyLevelNonMembership(std::string_view key,
+                                  const AssembledLevel& al,
+                                  const lsm::LevelMeta& meta) const;
+  // Recomputes a group-head leaf hash and verifies key/path bookkeeping.
+  Result<crypto::Hash256> HeadLeaf(const AssembledEntry& e) const;
+
+  sgx::Enclave* enclave_;
+};
+
+}  // namespace elsm::auth

@@ -1,0 +1,42 @@
+// In-enclave WAL digest chain (paper §5.3 w1): dig' = H(dig ‖ record).
+// Together with the sealed manifest and the monotonic counter this anchors
+// recovery: on restart the enclave re-folds the untrusted WAL and compares
+// against the sealed digest; a shorter/altered WAL is detected.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/sha256.h"
+
+namespace elsm::auth {
+
+class WalDigest {
+ public:
+  void Append(std::string_view record_core) {
+    crypto::Sha256 h;
+    h.Update(digest_.data(), digest_.size());
+    h.Update(record_core);
+    digest_ = h.Finalize();
+    ++count_;
+  }
+
+  void Reset() {
+    digest_ = crypto::kZeroHash;
+    count_ = 0;
+  }
+
+  void Restore(const crypto::Hash256& digest, uint64_t count) {
+    digest_ = digest;
+    count_ = count;
+  }
+
+  const crypto::Hash256& digest() const { return digest_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  crypto::Hash256 digest_ = crypto::kZeroHash;
+  uint64_t count_ = 0;
+};
+
+}  // namespace elsm::auth

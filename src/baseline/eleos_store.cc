@@ -1,0 +1,127 @@
+#include "baseline/eleos_store.h"
+
+namespace elsm::baseline {
+namespace {
+
+// Deterministic per-key bit source steering the simulated binary-search
+// path (which half the key falls into at each level).
+uint64_t KeyBits(std::string_view key) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+EleosStore::EleosStore(EleosOptions options,
+                       std::shared_ptr<sgx::Enclave> enclave)
+    : options_(options), enclave_(std::move(enclave)) {
+  region_ = enclave_->RegisterRegion(options_.capacity_bytes);
+}
+
+EleosStore::~EleosStore() { enclave_->FreeRegion(region_); }
+
+void EleosStore::ChargeSlot(uint64_t slot_index, uint64_t bytes) const {
+  enclave_->Advance(enclave_->model().sw_monitor_ns);
+  enclave_->AccessRegion(region_, slot_index * slot_bytes_, bytes,
+                         /*software_paging=*/true);
+}
+
+void EleosStore::ChargeBinarySearch(std::string_view key) const {
+  // Probe positions of a binary search over n slots (with slack factored
+  // into the footprint): lo/hi halving, branch chosen by key bits. The top
+  // of the search tree reuses the same few pages (they stay EPC-resident);
+  // the leaf-side probes scatter across the whole array.
+  const uint64_t n =
+      uint64_t(double(records_.size()) * (1.0 + options_.slack_fraction)) + 1;
+  uint64_t lo = 0;
+  uint64_t hi = n;
+  uint64_t bits = KeyBits(key);
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    ChargeSlot(mid, 64);
+    if (hi - lo <= 1) break;
+    if (bits & 1) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+    bits >>= 1;
+  }
+}
+
+Status EleosStore::Put(std::string_view key, std::string_view value) {
+  enclave_->ChargeEcall();
+  const uint64_t record_bytes = key.size() + value.size() + 16;
+  auto it = records_.find(key);
+  if (it == records_.end() &&
+      bytes_used_ + record_bytes > options_.capacity_bytes) {
+    return Status::CapacityExceeded(
+        "Eleos baseline caps at " + std::to_string(options_.capacity_bytes) +
+        " bytes (1 GB-equivalent)");
+  }
+
+  ChargeBinarySearch(key);
+  // Update-in-place: shift records toward the next slack gap. With 30 %
+  // slack spread through the array the expected shift is ~1/slack slots.
+  const uint64_t shift_slots =
+      it != records_.end()
+          ? 0
+          : 1 + uint64_t(1.0 / options_.slack_fraction);
+  const uint64_t base = KeyBits(key) % (records_.size() + 1);
+  for (uint64_t s = 0; s < shift_slots; ++s) {
+    ChargeSlot(base + s, slot_bytes_);
+  }
+
+  if (it != records_.end()) {
+    bytes_used_ -= it->first.size() + it->second.size() + 16;
+    it->second.assign(value);
+  } else {
+    records_.emplace(std::string(key), std::string(value));
+  }
+  bytes_used_ += record_bytes;
+  enclave_->ResizeRegion(
+      region_,
+      uint64_t(double(bytes_used_) * (1.0 + options_.slack_fraction)) + 4096);
+
+  // Periodic persistence of recent updates (paper §6.1).
+  if (++updates_since_persist_ >= options_.persist_interval) {
+    updates_since_persist_ = 0;
+    enclave_->ChargeOcall();
+    enclave_->ChargeFileWrite(uint64_t(options_.persist_interval) * 128);
+  }
+  return Status::Ok();
+}
+
+Result<std::optional<std::string>> EleosStore::Get(
+    std::string_view key) const {
+  enclave_->ChargeEcall();
+  ChargeBinarySearch(key);
+  auto it = records_.find(key);
+  if (it == records_.end()) {
+    return std::optional<std::string>(std::nullopt);
+  }
+  ChargeSlot(KeyBits(key) % (records_.size() + 1),
+             it->first.size() + it->second.size());
+  return std::optional<std::string>(it->second);
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> EleosStore::Scan(
+    std::string_view k1, std::string_view k2) const {
+  enclave_->ChargeEcall();
+  ChargeBinarySearch(k1);
+  std::vector<std::pair<std::string, std::string>> out;
+  const uint64_t base = KeyBits(k1) % (records_.size() + 1);
+  uint64_t offset = 0;
+  for (auto it = records_.lower_bound(k1);
+       it != records_.end() && it->first <= std::string(k2); ++it) {
+    ChargeSlot(base + offset++, it->first.size() + it->second.size());
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+}  // namespace elsm::baseline

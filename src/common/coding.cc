@@ -1,0 +1,97 @@
+#include "common/coding.h"
+
+namespace elsm {
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  dst->append(buf, 8);
+}
+
+void PutVarint32(std::string* dst, uint32_t v) { PutVarint64(dst, v); }
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  char buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<char>(v | 0x80);
+    v >>= 7;
+  }
+  buf[n++] = static_cast<char>(v);
+  dst->append(buf, n);
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool GetFixed32(std::string_view* input, uint32_t* v) {
+  if (input->size() < 4) return false;
+  uint32_t result = 0;
+  for (int i = 0; i < 4; ++i) {
+    result |= static_cast<uint32_t>(static_cast<uint8_t>((*input)[i]))
+              << (8 * i);
+  }
+  input->remove_prefix(4);
+  *v = result;
+  return true;
+}
+
+bool GetFixed64(std::string_view* input, uint64_t* v) {
+  if (input->size() < 8) return false;
+  uint64_t result = 0;
+  for (int i = 0; i < 8; ++i) {
+    result |= static_cast<uint64_t>(static_cast<uint8_t>((*input)[i]))
+              << (8 * i);
+  }
+  input->remove_prefix(8);
+  *v = result;
+  return true;
+}
+
+bool GetVarint32(std::string_view* input, uint32_t* v) {
+  uint64_t wide = 0;
+  if (!GetVarint64(input, &wide) || wide > UINT32_MAX) return false;
+  *v = static_cast<uint32_t>(wide);
+  return true;
+}
+
+bool GetVarint64(std::string_view* input, uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    uint8_t byte = static_cast<uint8_t>(input->front());
+    input->remove_prefix(1);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value) {
+  uint32_t len = 0;
+  if (!GetVarint32(input, &len) || input->size() < len) return false;
+  *value = input->substr(0, len);
+  input->remove_prefix(len);
+  return true;
+}
+
+int VarintLength(uint64_t v) {
+  int n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace elsm

@@ -1,0 +1,29 @@
+// Little-endian fixed and varint coding helpers, in the style of LevelDB's
+// util/coding.h. Used by WAL framing, SSTable blocks and proof serialization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace elsm {
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+// Length-prefixed (varint32) byte string.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+// Each Get* consumes bytes from the front of *input and returns true on
+// success; on failure *input is left unspecified and false is returned.
+bool GetFixed32(std::string_view* input, uint32_t* v);
+bool GetFixed64(std::string_view* input, uint64_t* v);
+bool GetVarint32(std::string_view* input, uint32_t* v);
+bool GetVarint64(std::string_view* input, uint64_t* v);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+// Size of v once varint-encoded (1..10 bytes).
+int VarintLength(uint64_t v);
+
+}  // namespace elsm

@@ -1,0 +1,76 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace elsm {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+uint64_t Histogram::BucketLimit(int index) {
+  // Log-spaced: ~10 buckets per decade, covering 1ns .. ~1e14ns.
+  return static_cast<uint64_t>(std::pow(10.0, double(index) / 10.0));
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value <= 1) return 0;
+  int idx = static_cast<int>(std::log10(double(value)) * 10.0);
+  return std::min(std::max(idx, 0), kBuckets - 1);
+}
+
+void Histogram::Add(uint64_t value_ns) {
+  if (count_ == 0 || value_ns < min_) min_ = value_ns;
+  if (value_ns > max_) max_ = value_ns;
+  ++count_;
+  sum_ += double(value_ns);
+  ++buckets_[BucketFor(value_ns)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Clear() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / double(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double threshold = double(count_) * (p / 100.0);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (double(cumulative) >= threshold) {
+      const uint64_t lo = i == 0 ? 0 : BucketLimit(i - 1);
+      const uint64_t hi = BucketLimit(i);
+      return double(lo) + (double(hi) - double(lo)) * 0.5;
+    }
+  }
+  return double(max_);
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2fus p50=%.2fus p95=%.2fus p99=%.2fus",
+                static_cast<unsigned long long>(count_), Mean() / 1000.0,
+                Percentile(50) / 1000.0, Percentile(95) / 1000.0,
+                Percentile(99) / 1000.0);
+  return buf;
+}
+
+}  // namespace elsm

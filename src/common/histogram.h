@@ -1,0 +1,42 @@
+// Latency histogram with log-spaced buckets, used by the YCSB runner and
+// the figure benches to report mean / p50 / p95 / p99 of per-op simulated
+// latencies (nanoseconds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elsm {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value_ns);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double Mean() const;
+  uint64_t Min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t Max() const { return max_; }
+  // Approximate percentile (p in [0,100]) from bucket interpolation.
+  double Percentile(double p) const;
+
+  // One-line summary: "count=... mean=...us p50=... p95=... p99=..."
+  std::string Summary() const;
+
+ private:
+  static constexpr int kBuckets = 140;
+  static uint64_t BucketLimit(int index);
+  static int BucketFor(uint64_t value);
+
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace elsm

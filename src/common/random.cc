@@ -1,0 +1,98 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace elsm {
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 expansion of the seed into two non-zero state words.
+  auto splitmix = [](uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  uint64_t x = seed;
+  s0_ = splitmix(x);
+  s1_ = splitmix(x);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Rng::Uniform(uint64_t n) { return Next() % n; }
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  zetan_ = Zeta(n, theta);
+  zeta2theta_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+uint64_t FnvHash64(uint64_t value) {
+  constexpr uint64_t kOffset = 0xCBF29CE484222325ull;
+  constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t hash = kOffset;
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t octet = value & 0xff;
+    value >>= 8;
+    hash ^= octet;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+ScrambledZipfianGenerator::ScrambledZipfianGenerator(uint64_t n)
+    : zipf_(n), n_(n) {}
+
+uint64_t ScrambledZipfianGenerator::Next(Rng& rng) {
+  return FnvHash64(zipf_.Next(rng)) % n_;
+}
+
+LatestGenerator::LatestGenerator(uint64_t initial_count)
+    : count_(initial_count), zipf_(initial_count == 0 ? 1 : initial_count) {}
+
+uint64_t LatestGenerator::Next(Rng& rng) {
+  // Rank 0 = newest key. Reuse the zipfian ranks mirrored from the top.
+  const uint64_t rank = zipf_.Next(rng) % count_;
+  return count_ - 1 - rank;
+}
+
+void LatestGenerator::AdvanceTo(uint64_t new_count) {
+  if (new_count > count_) count_ = new_count;
+}
+
+}  // namespace elsm

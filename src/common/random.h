@@ -1,0 +1,77 @@
+// Deterministic RNG and the YCSB key distributions used by the workload
+// generator (Uniform, Zipfian with the YCSB constant 0.99, ScrambledZipfian,
+// Latest). The algorithms mirror the YCSB core package so that the skew of
+// generated keys matches the paper's evaluation setup.
+#pragma once
+
+#include <cstdint>
+
+namespace elsm {
+
+// xorshift128+ generator: fast, deterministic, good enough for workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  uint64_t Next();
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+  // Uniform double in [0, 1).
+  double NextDouble();
+  // True with probability p (0 <= p <= 1).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+// Zipfian generator over [0, n) using the Gray/YCSB rejection-free method.
+// theta defaults to YCSB's 0.99. Item 0 is the most popular.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Rng& rng);
+  uint64_t item_count() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+// ScrambledZipfian: zipfian rank hashed across the key space so that hot
+// keys are spread out (YCSB default for workloads A/B/C/F).
+class ScrambledZipfianGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(uint64_t n);
+  uint64_t Next(Rng& rng);
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t n_;
+};
+
+// Latest: skewed toward the most recently inserted key. The caller advances
+// max_key as inserts happen (YCSB workload D).
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(uint64_t initial_count);
+  uint64_t Next(Rng& rng);
+  void AdvanceTo(uint64_t new_count);
+
+ private:
+  uint64_t count_;
+  ZipfianGenerator zipf_;
+};
+
+// FNV-style 64-bit hash used by ScrambledZipfian (matches YCSB's FNVhash64).
+uint64_t FnvHash64(uint64_t value);
+
+}  // namespace elsm

@@ -1,0 +1,38 @@
+#include "common/status.h"
+
+namespace elsm {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "Ok";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kAuthFailure:
+      return "AuthFailure";
+    case StatusCode::kRollbackDetected:
+      return "RollbackDetected";
+    case StatusCode::kCapacityExceeded:
+      return "CapacityExceeded";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  std::string out{StatusCodeName(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace elsm

@@ -1,0 +1,109 @@
+// Status / Result error-handling vocabulary used across the library.
+//
+// Conventions (see DESIGN.md §6): fallible operations return Status, or
+// Result<T> when they produce a value. Authentication failures are a
+// first-class code so callers can distinguish "host is malicious" from
+// ordinary IO errors.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace elsm {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kCorruption,
+  kInvalidArgument,
+  kIOError,
+  kAuthFailure,        // proof verification failed: host misbehaviour
+  kRollbackDetected,   // state freshness violated across restarts
+  kCapacityExceeded,   // e.g. the Eleos baseline's 1 GB-equivalent cap
+  kNotSupported,
+};
+
+// Human-readable name of a status code ("Ok", "AuthFailure", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status NotFound(std::string m = "") {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status Corruption(std::string m) {
+    return {StatusCode::kCorruption, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status IOError(std::string m) {
+    return {StatusCode::kIOError, std::move(m)};
+  }
+  static Status AuthFailure(std::string m) {
+    return {StatusCode::kAuthFailure, std::move(m)};
+  }
+  static Status RollbackDetected(std::string m) {
+    return {StatusCode::kRollbackDetected, std::move(m)};
+  }
+  static Status CapacityExceeded(std::string m) {
+    return {StatusCode::kCapacityExceeded, std::move(m)};
+  }
+  static Status NotSupported(std::string m) {
+    return {StatusCode::kNotSupported, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAuthFailure() const { return code_ == StatusCode::kAuthFailure; }
+  bool IsRollbackDetected() const {
+    return code_ == StatusCode::kRollbackDetected;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsCapacityExceeded() const {
+    return code_ == StatusCode::kCapacityExceeded;
+  }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "AuthFailure: stale record at level 2" style rendering for logs/tests.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Result<T> couples a Status with an optional value; the value is present
+// iff the status is Ok.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace elsm

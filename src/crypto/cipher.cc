@@ -1,0 +1,73 @@
+#include "crypto/cipher.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace elsm::crypto {
+namespace {
+
+// XOR `data` with a keystream derived from (key, iv): block i of the stream
+// is HMAC(key, iv || i).
+std::string XorKeystream(std::string_view key, std::string_view iv,
+                         std::string_view data) {
+  std::string out(data);
+  uint64_t counter = 0;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    std::string block_input(iv);
+    char ctr[8];
+    for (int i = 0; i < 8; ++i) ctr[i] = char((counter >> (8 * i)) & 0xff);
+    block_input.append(ctr, 8);
+    const Hash256 stream = HmacSha256(key, block_input);
+    const size_t n = std::min(out.size() - pos, stream.size());
+    for (size_t i = 0; i < n; ++i) {
+      out[pos + i] = char(uint8_t(out[pos + i]) ^ stream[i]);
+    }
+    pos += n;
+    ++counter;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StreamEncrypt(std::string_view key, uint64_t nonce,
+                          std::string_view plaintext) {
+  char iv[8];
+  for (int i = 0; i < 8; ++i) iv[i] = char((nonce >> (8 * i)) & 0xff);
+  return XorKeystream(key, std::string_view(iv, 8), plaintext);
+}
+
+std::string StreamDecrypt(std::string_view key, uint64_t nonce,
+                          std::string_view ciphertext) {
+  return StreamEncrypt(key, nonce, ciphertext);  // XOR is its own inverse
+}
+
+std::string DeterministicEncrypt(std::string_view key,
+                                 std::string_view plaintext) {
+  const Hash256 tag = HmacSha256(key, plaintext);
+  const std::string_view iv(reinterpret_cast<const char*>(tag.data()),
+                            tag.size());
+  std::string out(reinterpret_cast<const char*>(tag.data()), tag.size());
+  out += XorKeystream(key, iv, plaintext);
+  return out;
+}
+
+Result<std::string> DeterministicDecrypt(std::string_view key,
+                                         std::string_view ciphertext) {
+  if (ciphertext.size() < 32) {
+    return Status::Corruption("DE ciphertext shorter than tag");
+  }
+  Hash256 tag;
+  std::memcpy(tag.data(), ciphertext.data(), tag.size());
+  const std::string_view iv(ciphertext.data(), 32);
+  const std::string plaintext =
+      XorKeystream(key, iv, ciphertext.substr(32));
+  if (!TagEqual(tag, HmacSha256(key, plaintext))) {
+    return Status::Corruption("DE tag mismatch");
+  }
+  return plaintext;
+}
+
+}  // namespace elsm::crypto

@@ -1,0 +1,38 @@
+// Confidentiality layer (paper §5.6.2).
+//
+// The paper uses the SGX SDK's AES-GCM for values and deterministic
+// encryption (DE) for data keys so the ciphertext domain stays searchable.
+// We substitute hash-based constructions (documented in DESIGN.md §2):
+//
+//  * StreamEncrypt / StreamDecrypt — keystream derived per 32-byte block as
+//    HMAC(key, nonce || counter); semantically secure under unique nonces.
+//  * DeterministicEncrypt — SIV style: tag = HMAC(key, plaintext), body =
+//    plaintext XOR keystream(tag). Equal plaintexts map to equal ciphertexts
+//    (that is the point of DE: it preserves searchability), and the tag
+//    authenticates the plaintext on decryption.
+//
+// The sgxsim cost model charges cipher_per_byte for these operations.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "crypto/sha256.h"
+
+namespace elsm::crypto {
+
+// Semantically secure encryption with an explicit 8-byte nonce.
+std::string StreamEncrypt(std::string_view key, uint64_t nonce,
+                          std::string_view plaintext);
+std::string StreamDecrypt(std::string_view key, uint64_t nonce,
+                          std::string_view ciphertext);
+
+// Deterministic, authenticated encryption. Output = 32-byte tag || body.
+std::string DeterministicEncrypt(std::string_view key,
+                                 std::string_view plaintext);
+// Fails with Corruption if the tag does not authenticate the plaintext.
+Result<std::string> DeterministicDecrypt(std::string_view key,
+                                         std::string_view ciphertext);
+
+}  // namespace elsm::crypto

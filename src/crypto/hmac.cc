@@ -1,0 +1,40 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace elsm::crypto {
+
+Hash256 HmacSha256(std::string_view key, std::string_view message) {
+  uint8_t key_block[64] = {0};
+  if (key.size() > 64) {
+    const Hash256 kh = Sha256::Digest(key);
+    std::memcpy(key_block, kh.data(), kh.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[64];
+  uint8_t opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad, sizeof(ipad));
+  inner.Update(message);
+  const Hash256 inner_hash = inner.Finalize();
+
+  Sha256 outer;
+  outer.Update(opad, sizeof(opad));
+  outer.Update(inner_hash.data(), inner_hash.size());
+  return outer.Finalize();
+}
+
+bool TagEqual(const Hash256& a, const Hash256& b) {
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace elsm::crypto

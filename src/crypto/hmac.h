@@ -1,0 +1,16 @@
+// HMAC-SHA256 (RFC 2104). Used for sealed storage MACs, P1 file-granularity
+// authentication tags and the deterministic-encryption synthetic IV.
+#pragma once
+
+#include <string_view>
+
+#include "crypto/sha256.h"
+
+namespace elsm::crypto {
+
+Hash256 HmacSha256(std::string_view key, std::string_view message);
+
+// Constant-time comparison of two tags.
+bool TagEqual(const Hash256& a, const Hash256& b);
+
+}  // namespace elsm::crypto

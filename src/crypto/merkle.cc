@@ -1,0 +1,205 @@
+#include "crypto/merkle.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace elsm::crypto {
+
+Hash256 HashInterior(const Hash256& a, const Hash256& b) {
+  Sha256 h;
+  const uint8_t prefix = 0x01;
+  h.Update(&prefix, 1);
+  h.Update(a.data(), a.size());
+  h.Update(b.data(), b.size());
+  return h.Finalize();
+}
+
+std::string MerklePath::Encode() const {
+  std::string out;
+  PutVarint64(&out, leaf_index);
+  PutVarint32(&out, static_cast<uint32_t>(siblings.size()));
+  for (const Hash256& h : siblings) {
+    out.append(reinterpret_cast<const char*>(h.data()), h.size());
+  }
+  return out;
+}
+
+Result<MerklePath> MerklePath::Decode(std::string_view data) {
+  MerklePath path;
+  uint32_t count = 0;
+  if (!GetVarint64(&data, &path.leaf_index) || !GetVarint32(&data, &count) ||
+      data.size() < size_t(count) * 32) {
+    return Status::Corruption("bad merkle path encoding");
+  }
+  path.siblings.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::memcpy(path.siblings[i].data(), data.data() + size_t(i) * 32, 32);
+  }
+  return path;
+}
+
+std::string MerkleRangeProof::Encode() const {
+  std::string out;
+  PutVarint64(&out, lo);
+  PutVarint32(&out, static_cast<uint32_t>(hashes.size()));
+  for (const Hash256& h : hashes) {
+    out.append(reinterpret_cast<const char*>(h.data()), h.size());
+  }
+  return out;
+}
+
+Result<MerkleRangeProof> MerkleRangeProof::Decode(std::string_view data) {
+  MerkleRangeProof proof;
+  uint32_t count = 0;
+  if (!GetVarint64(&data, &proof.lo) || !GetVarint32(&data, &count) ||
+      data.size() < size_t(count) * 32) {
+    return Status::Corruption("bad merkle range proof encoding");
+  }
+  proof.hashes.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::memcpy(proof.hashes[i].data(), data.data() + size_t(i) * 32, 32);
+  }
+  return proof;
+}
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) {
+    root_ = kZeroHash;
+    levels_.push_back({});
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const std::vector<Hash256>& cur = levels_.back();
+    std::vector<Hash256> next;
+    next.reserve((cur.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < cur.size(); i += 2) {
+      next.push_back(HashInterior(cur[i], cur[i + 1]));
+    }
+    if (cur.size() % 2 == 1) next.push_back(cur.back());  // carry odd node
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
+}
+
+MerklePath MerkleTree::Path(uint64_t leaf_index) const {
+  MerklePath path;
+  path.leaf_index = leaf_index;
+  uint64_t idx = leaf_index;
+  for (size_t l = 0; l + 1 < levels_.size(); ++l) {
+    const std::vector<Hash256>& level = levels_[l];
+    if (idx % 2 == 1) {
+      path.siblings.push_back(level[idx - 1]);
+    } else if (idx + 1 < level.size()) {
+      path.siblings.push_back(level[idx + 1]);
+    }
+    // idx even and last in level: carried up, no sibling at this level.
+    idx /= 2;
+  }
+  return path;
+}
+
+Status MerkleTree::VerifyPath(const Hash256& leaf_hash, const MerklePath& path,
+                              uint64_t leaf_count, const Hash256& root) {
+  if (leaf_count == 0) return Status::AuthFailure("path against empty tree");
+  if (path.leaf_index >= leaf_count) {
+    return Status::AuthFailure("leaf index out of range");
+  }
+  Hash256 h = leaf_hash;
+  uint64_t idx = path.leaf_index;
+  uint64_t width = leaf_count;
+  size_t used = 0;
+  while (width > 1) {
+    if (idx % 2 == 1) {
+      if (used >= path.siblings.size()) {
+        return Status::AuthFailure("merkle path too short");
+      }
+      h = HashInterior(path.siblings[used++], h);
+    } else if (idx + 1 < width) {
+      if (used >= path.siblings.size()) {
+        return Status::AuthFailure("merkle path too short");
+      }
+      h = HashInterior(h, path.siblings[used++]);
+    }
+    idx /= 2;
+    width = (width + 1) / 2;
+  }
+  if (used != path.siblings.size()) {
+    return Status::AuthFailure("merkle path has extra nodes");
+  }
+  if (h != root) return Status::AuthFailure("merkle root mismatch");
+  return Status::Ok();
+}
+
+MerkleRangeProof MerkleTree::RangeProof(uint64_t lo, uint64_t hi) const {
+  MerkleRangeProof proof;
+  proof.lo = lo;
+  uint64_t cur_lo = lo;
+  uint64_t cur_hi = hi;
+  for (size_t l = 0; l + 1 < levels_.size(); ++l) {
+    const std::vector<Hash256>& level = levels_[l];
+    const uint64_t width = level.size();
+    if (cur_lo % 2 == 1) proof.hashes.push_back(level[cur_lo - 1]);
+    if (cur_hi % 2 == 0 && cur_hi + 1 < width) {
+      proof.hashes.push_back(level[cur_hi + 1]);
+    }
+    cur_lo /= 2;
+    cur_hi /= 2;
+  }
+  return proof;
+}
+
+Status MerkleTree::VerifyRange(const std::vector<Hash256>& leaf_hashes,
+                               const MerkleRangeProof& proof,
+                               uint64_t leaf_count, const Hash256& root) {
+  if (leaf_hashes.empty()) {
+    return Status::AuthFailure("empty range proof payload");
+  }
+  const uint64_t lo = proof.lo;
+  const uint64_t hi = lo + leaf_hashes.size() - 1;
+  if (hi >= leaf_count) return Status::AuthFailure("range beyond leaf count");
+
+  std::vector<Hash256> nodes = leaf_hashes;
+  uint64_t cur_lo = lo;
+  uint64_t width = leaf_count;
+  size_t used = 0;
+  while (width > 1) {
+    uint64_t cur_hi = cur_lo + nodes.size() - 1;
+    if (cur_lo % 2 == 1) {
+      if (used >= proof.hashes.size()) {
+        return Status::AuthFailure("range proof too short");
+      }
+      nodes.insert(nodes.begin(), proof.hashes[used++]);
+      cur_lo -= 1;
+    }
+    if (cur_hi % 2 == 0 && cur_hi + 1 < width) {
+      if (used >= proof.hashes.size()) {
+        return Status::AuthFailure("range proof too short");
+      }
+      nodes.push_back(proof.hashes[used++]);
+    }
+    // Pair up; a trailing unpaired node (only possible at the end of the
+    // level) carries up unchanged.
+    std::vector<Hash256> next;
+    next.reserve(nodes.size() / 2 + 1);
+    size_t i = 0;
+    for (; i + 1 < nodes.size(); i += 2) {
+      next.push_back(HashInterior(nodes[i], nodes[i + 1]));
+    }
+    if (i < nodes.size()) next.push_back(nodes[i]);
+    nodes = std::move(next);
+    cur_lo /= 2;
+    width = (width + 1) / 2;
+  }
+  if (used != proof.hashes.size()) {
+    return Status::AuthFailure("range proof has extra nodes");
+  }
+  if (nodes.size() != 1 || nodes[0] != root) {
+    return Status::AuthFailure("range proof root mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace elsm::crypto

@@ -1,0 +1,82 @@
+// Merkle hash tree with membership paths, adjacency-based non-membership
+// and contiguous range proofs (paper §5.2, §5.4, Appendix A.2).
+//
+// Shape: RFC 6962-style binary tree. Leaves are pre-hashed 32-byte digests
+// (eLSM leaves are per-key hash-chain digests). At each level nodes are
+// paired left-to-right; a trailing unpaired node is carried up unchanged.
+// Interior nodes are H(0x01 || left || right), giving domain separation from
+// the 0x00-prefixed record/chain hashes (see hash_chain.h).
+//
+// A MerklePath carries the leaf index so the verifier can recompute the
+// left/right orientation at every level; the verifier must also know the
+// authenticated leaf count (eLSM keeps (root, leaf_count) per level inside
+// the enclave).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/sha256.h"
+
+namespace elsm::crypto {
+
+// Interior node rule, exposed for tests: H(0x01 || a || b).
+Hash256 HashInterior(const Hash256& a, const Hash256& b);
+
+struct MerklePath {
+  uint64_t leaf_index = 0;
+  std::vector<Hash256> siblings;
+
+  // Compact wire form: varint index, varint count, raw hashes.
+  std::string Encode() const;
+  static Result<MerklePath> Decode(std::string_view data);
+  size_t ByteSize() const { return siblings.size() * 32 + 16; }
+};
+
+// Extra hashes required to recompute the root from a contiguous run of
+// leaves [lo, hi]. `left[l]` / `right[l]` hold the boundary hash needed at
+// tree level l, if any (encoded positionally).
+struct MerkleRangeProof {
+  uint64_t lo = 0;  // first covered leaf index
+  std::vector<Hash256> hashes;  // consumed in verification order
+
+  std::string Encode() const;
+  static Result<MerkleRangeProof> Decode(std::string_view data);
+};
+
+class MerkleTree {
+ public:
+  // Builds the full tree; an empty leaf set yields root() == kZeroHash.
+  explicit MerkleTree(std::vector<Hash256> leaves);
+
+  const Hash256& root() const { return root_; }
+  uint64_t leaf_count() const { return leaf_count_; }
+  const Hash256& leaf(uint64_t index) const { return levels_[0][index]; }
+
+  MerklePath Path(uint64_t leaf_index) const;
+  MerkleRangeProof RangeProof(uint64_t lo, uint64_t hi) const;
+
+  // Recomputes the root from a single leaf + path. Pure function: no tree
+  // instance needed (this is what runs inside the enclave).
+  static Status VerifyPath(const Hash256& leaf_hash, const MerklePath& path,
+                           uint64_t leaf_count, const Hash256& root);
+
+  // Recomputes the root from leaves [proof.lo, proof.lo + leaves.size()).
+  static Status VerifyRange(const std::vector<Hash256>& leaf_hashes,
+                            const MerkleRangeProof& proof, uint64_t leaf_count,
+                            const Hash256& root);
+
+  // Number of hash evaluations VerifyPath will perform (for cost charging).
+  static uint64_t PathHashOps(const MerklePath& path) {
+    return path.siblings.size();
+  }
+
+ private:
+  uint64_t leaf_count_;
+  std::vector<std::vector<Hash256>> levels_;  // levels_[0] = leaves
+  Hash256 root_;
+};
+
+}  // namespace elsm::crypto

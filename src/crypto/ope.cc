@@ -1,0 +1,84 @@
+#include "crypto/ope.h"
+
+#include "common/random.h"
+#include "crypto/hmac.h"
+
+namespace elsm::crypto {
+namespace {
+
+// Seeds a PRG from HMAC(key, prefix); increments for all 256 byte values at
+// this position are drawn sequentially (one HMAC per position, not per
+// value).
+Rng PrefixRng(std::string_view key, std::string_view prefix) {
+  const Hash256 seed = HmacSha256(key, prefix);
+  uint64_t s = 0;
+  for (int i = 0; i < 8; ++i) s = (s << 8) | seed[size_t(i)];
+  return Rng(s);
+}
+
+void PutFixed16BE(std::string* out, uint32_t v) {
+  out->push_back(char((v >> 8) & 0xff));
+  out->push_back(char(v & 0xff));
+}
+
+bool GetFixed16BE(std::string_view* in, uint32_t* v) {
+  if (in->size() < 2) return false;
+  *v = (uint32_t(uint8_t((*in)[0])) << 8) | uint32_t(uint8_t((*in)[1]));
+  in->remove_prefix(2);
+  return true;
+}
+
+}  // namespace
+
+std::string OpeCipher::Encrypt(std::string_view plaintext) const {
+  std::string out;
+  out.reserve(plaintext.size() * 2 + 2);
+  for (size_t i = 0; i < plaintext.size(); ++i) {
+    const uint8_t b = uint8_t(plaintext[i]);
+    Rng rng = PrefixRng(key_, plaintext.substr(0, i));
+    uint32_t code = 1;
+    for (uint32_t v = 0; v < b; ++v) {
+      code += 1 + uint32_t(rng.Uniform(kSpread));
+    }
+    PutFixed16BE(&out, code);
+  }
+  PutFixed16BE(&out, 0);  // terminator: sorts below every continuation
+  return out;
+}
+
+Result<std::string> OpeCipher::Decrypt(std::string_view ciphertext) const {
+  std::string plaintext;
+  while (true) {
+    uint32_t code = 0;
+    if (!GetFixed16BE(&ciphertext, &code)) {
+      return Status::Corruption("OPE ciphertext truncated");
+    }
+    if (code == 0) break;  // terminator
+    Rng rng = PrefixRng(key_, plaintext);
+    uint32_t acc = 1;
+    int byte_value = -1;
+    for (uint32_t v = 0; v < 256; ++v) {
+      if (acc == code) {
+        byte_value = int(v);
+        break;
+      }
+      if (acc > code) break;
+      acc += 1 + uint32_t(rng.Uniform(kSpread));
+    }
+    if (byte_value < 0) return Status::Corruption("bad OPE code");
+    plaintext.push_back(char(byte_value));
+  }
+  if (!ciphertext.empty()) {
+    return Status::Corruption("OPE trailing bytes");
+  }
+  return plaintext;
+}
+
+uint32_t OpeCipher::Increment(std::string_view prefix, uint8_t value) const {
+  Rng rng = PrefixRng(key_, prefix);
+  uint32_t inc = 0;
+  for (uint32_t v = 0; v <= value; ++v) inc = 1 + uint32_t(rng.Uniform(kSpread));
+  return inc;
+}
+
+}  // namespace elsm::crypto

@@ -1,0 +1,45 @@
+// Order-preserving encryption for data keys (paper §5.6.2: "For range
+// query, one can use Order-Preserving Encryption (OPE) to encrypt the data
+// keys").
+//
+// Construction: a keyed, strictly monotone, prefix-recursive mapping over
+// byte strings. Each plaintext byte b (given the already-encrypted prefix)
+// maps to the cumulative sum of keyed pseudorandom increments
+//
+//   inc(prefix, v) = 1 + (HMAC(key, prefix ‖ v) mod kSpread),   v = 0..255
+//   E(prefix, b)   = Σ_{v<b} inc(prefix, v)        (encoded as fixed16 BE)
+//
+// plus a fixed16 terminator strictly below any continuation, so that
+//   a < b  ⇔  Encrypt(a) < Encrypt(b)   (bytewise/lexicographic)
+// for all plaintexts, including prefixes of one another. This is the
+// classic Boldyreva-style "random monotone function" idea in its simplest
+// deterministic form; like all stateless OPE it leaks order (that is the
+// point) and approximate distance — see the header-level security note in
+// DESIGN.md. Decryption inverts byte-by-byte using the same increments.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace elsm::crypto {
+
+class OpeCipher {
+ public:
+  explicit OpeCipher(std::string key) : key_(std::move(key)) {}
+
+  // Ciphertexts compare (memcmp/lexicographic) exactly like plaintexts.
+  std::string Encrypt(std::string_view plaintext) const;
+  Result<std::string> Decrypt(std::string_view ciphertext) const;
+
+ private:
+  static constexpr uint32_t kSpread = 200;  // increment randomization range
+
+  // Pseudorandom increment table position sum for value v under a prefix.
+  uint32_t Increment(std::string_view prefix, uint8_t value) const;
+
+  std::string key_;
+};
+
+}  // namespace elsm::crypto

@@ -1,0 +1,102 @@
+#include "ct/ct.h"
+
+namespace elsm::ct {
+namespace {
+
+constexpr std::string_view kRevokedMarker = "REVOKED";
+
+}  // namespace
+
+std::string Certificate::Digest() const {
+  crypto::Sha256 h;
+  h.Update(hostname);
+  h.Update(issuer);
+  h.Update(public_key);
+  char serial_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    serial_bytes[i] = char((serial >> (8 * i)) & 0xff);
+  }
+  h.Update(serial_bytes, sizeof(serial_bytes));
+  return crypto::ToHex(h.Finalize());
+}
+
+Result<std::unique_ptr<LogServer>> LogServer::Create(Options options) {
+  options.name = options.name.empty() ? "ctlog" : options.name;
+  auto db = ElsmDb::Create(options);
+  if (!db.ok()) return db.status();
+  return std::make_unique<LogServer>(std::move(db).value());
+}
+
+Status LogServer::Submit(const Certificate& cert) {
+  if (cert.hostname.empty()) {
+    return Status::InvalidArgument("certificate without hostname");
+  }
+  return db_->Put(cert.hostname, cert.Digest());
+}
+
+Status LogServer::Revoke(std::string_view hostname) {
+  return db_->Put(hostname, std::string(kRevokedMarker));
+}
+
+Result<std::optional<LogEntry>> LogServer::Lookup(std::string_view hostname) {
+  auto got = db_->GetVerified(hostname);
+  if (!got.ok()) return got.status();
+  if (!got.value().record.has_value() || got.value().record->deleted()) {
+    return std::optional<LogEntry>(std::nullopt);
+  }
+  LogEntry entry;
+  entry.hostname = std::string(hostname);
+  entry.cert_digest = got.value().record->value;
+  entry.log_ts = got.value().record->ts;
+  return std::optional<LogEntry>(std::move(entry));
+}
+
+Result<std::vector<LogEntry>> LogServer::WatchDomain(std::string_view domain) {
+  // Hostnames are stored reversed-label-free (exact hostnames); the prefix
+  // range [domain, domain + 0xff) covers "domain" and "sub.domain"-style
+  // keys sharing the prefix.
+  std::string hi(domain);
+  hi.push_back('\xff');
+  auto records = db_->Scan(domain, hi);
+  if (!records.ok()) return records.status();
+  std::vector<LogEntry> out;
+  out.reserve(records.value().size());
+  for (const auto& r : records.value()) {
+    out.push_back(LogEntry{r.key, r.value, r.ts});
+  }
+  return out;
+}
+
+Auditor::Verdict Auditor::Validate(const Certificate& presented) {
+  auto entry = log_->Lookup(presented.hostname);
+  if (!entry.ok()) return Verdict::kLogMisbehaved;
+  if (!entry.value().has_value()) return Verdict::kUnknownHost;
+  if (entry.value()->cert_digest == kRevokedMarker) return Verdict::kRevoked;
+  return entry.value()->cert_digest == presented.Digest()
+             ? Verdict::kValid
+             : Verdict::kMismatch;
+}
+
+void Monitor::Trust(const Certificate& cert) {
+  trusted_.push_back(LogEntry{cert.hostname, cert.Digest(), 0});
+}
+
+Result<std::vector<std::string>> Monitor::FindMisissued() {
+  auto logged = log_->WatchDomain(domain_);
+  if (!logged.ok()) return logged.status();
+  std::vector<std::string> misissued;
+  for (const LogEntry& entry : logged.value()) {
+    if (entry.cert_digest == kRevokedMarker) continue;
+    bool known = false;
+    for (const LogEntry& t : trusted_) {
+      if (t.hostname == entry.hostname && t.cert_digest == entry.cert_digest) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) misissued.push_back(entry.hostname);
+  }
+  return misissued;
+}
+
+}  // namespace elsm::ct

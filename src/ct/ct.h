@@ -1,0 +1,96 @@
+// Certificate-transparency case study (paper §5.7): an eLSM-backed CT log
+// server with query authenticity and lightweight monitoring.
+//
+//  * LogServer  — stores hostname -> certificate-hash records in ElsmDb; the
+//    write stream is certificate issuance (the paper's intensive small-write
+//    workload).
+//  * Auditor    — a browser-side client validating the certificate presented
+//    on a TLS handshake: verified point GET (inclusion + freshness, so a
+//    revoked-and-rotated certificate cannot be replayed).
+//  * Monitor    — a domain owner watching *only its own* domains: verified
+//    range SCAN over the domain's key prefix, "low and sublinear bandwidth"
+//    instead of downloading the full log.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/sha256.h"
+#include "elsm/elsm_db.h"
+
+namespace elsm::ct {
+
+struct Certificate {
+  std::string hostname;
+  std::string issuer;
+  std::string public_key;
+  uint64_t serial = 0;
+
+  // The log stores H(certificate) as the value, keyed by hostname.
+  std::string Digest() const;
+};
+
+struct LogEntry {
+  std::string hostname;
+  std::string cert_digest;
+  uint64_t log_ts = 0;  // timestamp assigned by the log (eLSM ts)
+};
+
+class LogServer {
+ public:
+  explicit LogServer(std::unique_ptr<ElsmDb> db) : db_(std::move(db)) {}
+
+  static Result<std::unique_ptr<LogServer>> Create(Options options);
+
+  // CA submits a newly issued certificate.
+  Status Submit(const Certificate& cert);
+  // CA revokes: logs a revocation marker so stale certs fail freshness.
+  Status Revoke(std::string_view hostname);
+
+  // Auditor-facing: verified inclusion + freshness lookup.
+  Result<std::optional<LogEntry>> Lookup(std::string_view hostname);
+  // Monitor-facing: verified scan of every hostname with `domain` prefix.
+  Result<std::vector<LogEntry>> WatchDomain(std::string_view domain);
+
+  Status Checkpoint() { return db_->Flush(); }
+  ElsmDb& db() { return *db_; }
+
+ private:
+  std::unique_ptr<ElsmDb> db_;
+};
+
+// Browser-side TLS-handshake validation: does the presented certificate
+// match the latest logged one for its hostname?
+class Auditor {
+ public:
+  explicit Auditor(LogServer* log) : log_(log) {}
+
+  enum class Verdict { kValid, kUnknownHost, kMismatch, kRevoked, kLogMisbehaved };
+  Verdict Validate(const Certificate& presented);
+
+ private:
+  LogServer* log_;
+};
+
+// Domain-owner monitoring: detect certificates mis-issued under a domain.
+class Monitor {
+ public:
+  Monitor(LogServer* log, std::string domain)
+      : log_(log), domain_(std::move(domain)) {}
+
+  // Registers the legitimate certificates the owner knows about.
+  void Trust(const Certificate& cert);
+  // Returns hostnames in the domain whose logged certificate is not one the
+  // owner registered (mis-issuance candidates).
+  Result<std::vector<std::string>> FindMisissued();
+
+ private:
+  LogServer* log_;
+  std::string domain_;
+  std::vector<LogEntry> trusted_;
+};
+
+}  // namespace elsm::ct

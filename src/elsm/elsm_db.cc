@@ -1,0 +1,445 @@
+#include "elsm/elsm_db.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "common/coding.h"
+#include "crypto/cipher.h"
+#include "crypto/ope.h"
+#include "sgxsim/sealed.h"
+
+namespace elsm {
+namespace {
+
+lsm::LsmOptions MakeEngineOptions(const Options& o) {
+  lsm::LsmOptions eo;
+  eo.name = o.name;
+  eo.memtable_bytes = o.memtable_bytes;
+  eo.level1_bytes = o.level1_bytes;
+  eo.level_ratio = o.level_ratio;
+  eo.block_bytes = o.block_bytes;
+  eo.file_bytes = o.file_bytes;
+  eo.bloom_bits_per_key = o.bloom_bits_per_key;
+  eo.use_bloom = o.use_bloom;
+  eo.compaction_enabled = o.compaction_enabled;
+  eo.read_buffer_bytes = o.read_buffer_bytes;
+  switch (o.mode) {
+    case Mode::kP1:
+      // P1 keeps the whole read path in enclave memory; mmap files cannot
+      // live in the EPC (§6.3), so P1 always uses the in-enclave buffer.
+      eo.read_path = lsm::ReadPathKind::kBuffer;
+      eo.buffer_placement = storage::BufferPlacement::kInsideEnclave;
+      eo.protect_blocks = true;
+      break;
+    case Mode::kP2:
+    case Mode::kUnsecured:
+      eo.read_path = o.read_path;
+      eo.buffer_placement = storage::BufferPlacement::kOutsideEnclave;
+      eo.protect_blocks = false;
+      break;
+  }
+  return eo;
+}
+
+}  // namespace
+
+ElsmDb::ElsmDb(const Options& options, std::shared_ptr<storage::SimFs> fs,
+               std::shared_ptr<TrustedPlatform> platform)
+    : options_(options),
+      enclave_(std::make_shared<sgx::Enclave>(options.cost_model,
+                                              options.mode != Mode::kUnsecured)),
+      fs_(std::move(fs)),
+      platform_(std::move(platform)),
+      verifier_(nullptr) {
+  if (fs_ == nullptr) fs_ = std::make_shared<storage::SimFs>(enclave_);
+  fs_->set_enclave(enclave_);
+  engine_ = std::make_unique<lsm::LsmEngine>(MakeEngineOptions(options_),
+                                             enclave_, fs_);
+  if (options_.mode == Mode::kP2 && options_.authenticate_data) {
+    listener_ = std::make_unique<auth::AuthCompactionListener>(
+        enclave_.get(), options_.embed_full_paths);
+    engine_->SetListener(listener_.get());
+  }
+  assembler_ = std::make_unique<auth::ProofAssembler>(fs_);
+  verifier_ = auth::Verifier(enclave_.get());
+}
+
+ElsmDb::~ElsmDb() {
+  if (!closed_) (void)Close();
+}
+
+Result<std::unique_ptr<ElsmDb>> ElsmDb::Open(
+    const Options& options, std::shared_ptr<storage::SimFs> fs,
+    std::shared_ptr<TrustedPlatform> platform) {
+  if (platform == nullptr) {
+    return Status::InvalidArgument("TrustedPlatform required");
+  }
+  if (options.deterministic_key_encryption && options.order_preserving_keys) {
+    return Status::InvalidArgument(
+        "deterministic and order-preserving key encryption are exclusive");
+  }
+  std::unique_ptr<ElsmDb> db(new ElsmDb(options, std::move(fs), platform));
+  Status s = db->Recover();
+  if (!s.ok()) return s;
+  return db;
+}
+
+Result<std::unique_ptr<ElsmDb>> ElsmDb::Create(const Options& options) {
+  return Open(options, nullptr, std::make_shared<TrustedPlatform>());
+}
+
+Status ElsmDb::Recover() {
+  if (!fs_->Exists(manifest_name())) return Status::Ok();  // fresh store
+
+  auto sealed = fs_->ReadAll(manifest_name());
+  if (!sealed.ok()) return sealed.status();
+  auto payload = sgx::Unseal(platform_->sealing_key, sealed.value());
+  if (!payload.ok()) {
+    return Status::AuthFailure("manifest seal broken: " +
+                               payload.status().message());
+  }
+
+  std::string_view cursor(payload.value());
+  uint64_t last_ts = 0;
+  uint64_t wal_count = 0;
+  uint64_t counter_value = 0;
+  crypto::Hash256 wal_dig;
+  std::string_view engine_manifest;
+  if (!GetFixed64(&cursor, &last_ts) || cursor.size() < 32) {
+    return Status::Corruption("bad manifest payload");
+  }
+  std::memcpy(wal_dig.data(), cursor.data(), 32);
+  cursor.remove_prefix(32);
+  if (!GetFixed64(&cursor, &wal_count) || !GetFixed64(&cursor, &counter_value) ||
+      !GetLengthPrefixed(&cursor, &engine_manifest)) {
+    return Status::Corruption("bad manifest payload");
+  }
+
+  if (options_.rollback_defense) {
+    const uint64_t hw = platform_->counter.Read();
+    if (counter_value < hw) {
+      return Status::RollbackDetected(
+          "manifest counter " + std::to_string(counter_value) +
+          " behind hardware counter " + std::to_string(hw));
+    }
+    if (counter_value > hw) {
+      return Status::Corruption("manifest counter ahead of hardware");
+    }
+  }
+
+  Status s = engine_->RestoreManifest(engine_manifest);
+  if (!s.ok()) return s;
+  last_ts_ = last_ts;
+
+  // Replay the WAL: the sealed digest must cover its persisted prefix
+  // exactly (w1/§5.6.1); anything beyond extends the digest.
+  auto wal = engine_->ReadWalRecords();
+  if (!wal.ok()) return wal.status();
+  const auto& records = wal.value().records;
+  if (records.size() < wal_count) {
+    return Status::RollbackDetected("WAL shorter than sealed digest covers");
+  }
+  wal_digest_.Reset();
+  for (size_t i = 0; i < records.size(); ++i) {
+    enclave_->ChargeHash(records[i].size() + 32);
+    wal_digest_.Append(records[i]);
+    if (i + 1 == wal_count) {
+      if (wal_digest_.digest() != wal_dig) {
+        return Status::AuthFailure("WAL digest mismatch on recovery");
+      }
+    }
+    std::string_view record_cursor(records[i]);
+    auto record = lsm::Record::DecodeCore(&record_cursor);
+    if (!record.ok()) return record.status();
+    last_ts_ = std::max(last_ts_, record.value().ts);
+    s = engine_->ReinsertFromWal(std::move(record).value());
+    if (!s.ok()) return s;
+  }
+  if (wal_count > 0 && records.size() == wal_count &&
+      wal_digest_.digest() != wal_dig) {
+    return Status::AuthFailure("WAL digest mismatch on recovery");
+  }
+  return Status::Ok();
+}
+
+Status ElsmDb::PersistManifest() {
+  ++flush_count_;
+  if (options_.rollback_defense &&
+      flush_count_ % std::max<uint32_t>(1, options_.counter_sync_period) ==
+          0) {
+    platform_->counter.Increment();
+    enclave_->ChargeCounterBump();
+  }
+  std::string payload;
+  PutFixed64(&payload, last_ts_);
+  payload.append(reinterpret_cast<const char*>(wal_digest_.digest().data()),
+                 32);
+  PutFixed64(&payload, wal_digest_.count());
+  PutFixed64(&payload, platform_->counter.Read());
+  PutLengthPrefixed(&payload, engine_->EncodeManifest());
+  enclave_->ChargeHash(payload.size());
+  enclave_->ChargeOcall();
+  return fs_->Write(manifest_name(), sgx::Seal(platform_->sealing_key, payload));
+}
+
+std::string ElsmDb::TransformKey(std::string_view key) const {
+  if (options_.order_preserving_keys) {
+    enclave_->ChargeCipher(key.size() * 2);
+    return crypto::OpeCipher(options_.data_key).Encrypt(key);
+  }
+  if (!options_.deterministic_key_encryption) return std::string(key);
+  enclave_->ChargeCipher(key.size());
+  return crypto::DeterministicEncrypt(options_.data_key, key);
+}
+
+std::string ElsmDb::TransformValue(std::string_view value, uint64_t ts) const {
+  if (!options_.encrypt_values) return std::string(value);
+  enclave_->ChargeCipher(value.size());
+  return crypto::StreamEncrypt(options_.data_key, ts, value);
+}
+
+Status ElsmDb::UntransformRecord(lsm::Record* record) const {
+  if (options_.encrypt_values && !record->deleted()) {
+    enclave_->ChargeCipher(record->value.size());
+    record->value =
+        crypto::StreamDecrypt(options_.data_key, record->ts, record->value);
+  }
+  if (options_.deterministic_key_encryption) {
+    enclave_->ChargeCipher(record->key.size());
+    auto key = crypto::DeterministicDecrypt(options_.data_key, record->key);
+    if (!key.ok()) return key.status();
+    record->key = std::move(key).value();
+  } else if (options_.order_preserving_keys) {
+    enclave_->ChargeCipher(record->key.size());
+    auto key = crypto::OpeCipher(options_.data_key).Decrypt(record->key);
+    if (!key.ok()) return key.status();
+    record->key = std::move(key).value();
+  }
+  return Status::Ok();
+}
+
+Status ElsmDb::FlushIfNeeded() {
+  if (engine_->memtable_bytes() < options_.memtable_bytes) return Status::Ok();
+  return FlushLocked();
+}
+
+void ElsmDb::RecordOpStat(Histogram OpStats::*h, uint64_t latency_ns) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  (op_stats_.*h).Add(latency_ns);
+}
+
+Status ElsmDb::Put(std::string_view key, std::string_view value) {
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  const uint64_t start = enclave_->now_ns();
+  enclave_->ChargeEcall();
+  lsm::Record record;
+  record.ts = ++last_ts_;
+  record.key = TransformKey(key);
+  record.value = TransformValue(value, record.ts);
+  record.type = lsm::RecordType::kValue;
+
+  const std::string core = record.EncodeCore();
+  enclave_->ChargeHash(core.size() + 32);
+  wal_digest_.Append(core);
+
+  Status s = engine_->Put(std::move(record));
+  if (!s.ok()) return s;
+  s = FlushIfNeeded();
+  RecordOpStat(&OpStats::put, enclave_->now_ns() - start);
+  return s;
+}
+
+Status ElsmDb::Delete(std::string_view key) {
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  const uint64_t start = enclave_->now_ns();
+  enclave_->ChargeEcall();
+  lsm::Record record;
+  record.ts = ++last_ts_;
+  record.key = TransformKey(key);
+  record.type = lsm::RecordType::kTombstone;
+
+  const std::string core = record.EncodeCore();
+  enclave_->ChargeHash(core.size() + 32);
+  wal_digest_.Append(core);
+
+  Status s = engine_->Put(std::move(record));
+  if (!s.ok()) return s;
+  s = FlushIfNeeded();
+  RecordOpStat(&OpStats::put, enclave_->now_ns() - start);
+  return s;
+}
+
+Status ElsmDb::Write(const WriteBatch& batch) {
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  const uint64_t start = enclave_->now_ns();
+  enclave_->ChargeEcall();
+  for (const WriteBatch::Entry& entry : batch.entries) {
+    lsm::Record record;
+    record.ts = ++last_ts_;
+    record.key = TransformKey(entry.key);
+    if (entry.is_delete) {
+      record.type = lsm::RecordType::kTombstone;
+    } else {
+      record.value = TransformValue(entry.value, record.ts);
+    }
+    const std::string core = record.EncodeCore();
+    enclave_->ChargeHash(core.size() + 32);
+    wal_digest_.Append(core);
+    Status s = engine_->Put(std::move(record));
+    if (!s.ok()) return s;
+  }
+  Status s = FlushIfNeeded();
+  RecordOpStat(&OpStats::put, enclave_->now_ns() - start);
+  return s;
+}
+
+std::optional<lsm::Record> ElsmDb::UnverifiedResult(
+    const lsm::GetResponse& resp) {
+  if (resp.memtable_hit.has_value()) return resp.memtable_hit;
+  for (const lsm::LevelGetResult& lr : resp.levels) {
+    if (lr.found) return lr.chain.back().record;
+  }
+  return std::nullopt;
+}
+
+Result<ElsmDb::VerifiedRecord> ElsmDb::GetVerified(std::string_view key,
+                                                   uint64_t ts_max) {
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
+  const uint64_t start = enclave_->now_ns();
+  enclave_->ChargeEcall();
+  const std::string lookup_key = TransformKey(key);
+
+  auto resp = engine_->Get(lookup_key, ts_max);
+  if (!resp.ok()) return resp.status();
+
+  VerifiedRecord out;
+  if (options_.mode == Mode::kP2 && options_.authenticate_data &&
+      options_.verify_reads) {
+    auto assembled = assembler_->AssembleGet(resp.value(), engine_->levels());
+    if (!assembled.ok()) return assembled.status();
+    out.proof_bytes = assembled.value().proof_bytes;
+    auto verified = verifier_.VerifyGet(lookup_key, ts_max, assembled.value(),
+                                        engine_->levels());
+    if (!verified.ok()) return verified.status();
+    out.record = std::move(verified).value();
+    out.verified = true;
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      op_stats_.proof_bytes += out.proof_bytes;
+      ++op_stats_.verified_ops;
+    }
+  } else {
+    out.record = UnverifiedResult(resp.value());
+  }
+
+  if (out.record.has_value()) {
+    Status s = UntransformRecord(&*out.record);
+    if (!s.ok()) return s;
+  }
+  RecordOpStat(&OpStats::get, enclave_->now_ns() - start);
+  return out;
+}
+
+Result<std::optional<std::string>> ElsmDb::Get(std::string_view key) {
+  auto result = GetVerified(key, kLatest);
+  if (!result.ok()) return result.status();
+  auto& record = result.value().record;
+  if (!record.has_value() || record->deleted()) {
+    return std::optional<std::string>(std::nullopt);
+  }
+  return std::optional<std::string>(std::move(record->value));
+}
+
+Result<std::vector<lsm::Record>> ElsmDb::Scan(std::string_view k1,
+                                              std::string_view k2) {
+  if (options_.deterministic_key_encryption) {
+    return Status::NotSupported(
+        "range queries over DE keys require order-preserving encryption");
+  }
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
+  const uint64_t start = enclave_->now_ns();
+  enclave_->ChargeEcall();
+  std::string lo(k1);
+  std::string hi(k2);
+  if (options_.order_preserving_keys) {
+    lo = TransformKey(k1);
+    hi = TransformKey(k2);
+  }
+  auto resp = engine_->Scan(lo, hi);
+  if (!resp.ok()) return resp.status();
+
+  std::vector<lsm::Record> records;
+  if (options_.mode == Mode::kP2 && options_.authenticate_data &&
+      options_.verify_reads) {
+    auto assembled = assembler_->AssembleScan(resp.value(), engine_->levels());
+    if (!assembled.ok()) return assembled.status();
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      op_stats_.proof_bytes += assembled.value().proof_bytes;
+      ++op_stats_.verified_ops;
+    }
+    auto verified =
+        verifier_.VerifyScan(lo, hi, assembled.value(), engine_->levels());
+    if (!verified.ok()) return verified.status();
+    records = std::move(verified).value();
+  } else {
+    std::map<std::string, lsm::Record> merged;
+    for (const lsm::Record& r : resp.value().memtable_records) {
+      merged.emplace(r.key, r);
+    }
+    for (const lsm::LevelScanResult& lr : resp.value().levels) {
+      for (const lsm::RawEntry& e : lr.heads) merged.emplace(e.record.key, e.record);
+    }
+    for (auto& [k, r] : merged) {
+      if (!r.deleted()) records.push_back(std::move(r));
+    }
+  }
+
+  for (lsm::Record& r : records) {
+    Status s = UntransformRecord(&r);
+    if (!s.ok()) return s;
+  }
+  RecordOpStat(&OpStats::scan, enclave_->now_ns() - start);
+  return records;
+}
+
+Status ElsmDb::FlushLocked() {
+  Status s = engine_->Flush();
+  if (!s.ok()) return s;
+  s = engine_->MaybeCompact();
+  if (!s.ok()) return s;
+  s = engine_->ResetWal();
+  if (!s.ok()) return s;
+  wal_digest_.Reset();
+  if (!options_.persist_manifest_on_flush) return Status::Ok();
+  return PersistManifest();
+}
+
+Status ElsmDb::Flush() {
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  return FlushLocked();
+}
+
+Status ElsmDb::CompactAll() {
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  Status s = engine_->Flush();
+  if (!s.ok()) return s;
+  s = engine_->CompactAll();
+  if (!s.ok()) return s;
+  s = engine_->ResetWal();
+  if (!s.ok()) return s;
+  wal_digest_.Reset();
+  return PersistManifest();
+}
+
+Status ElsmDb::Close() {
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  if (closed_) return Status::Ok();
+  closed_ = true;
+  // Persist the manifest *without* flushing the memtable: pending records
+  // stay in the WAL and replay on reopen (that is the recovery test path).
+  return PersistManifest();
+}
+
+}  // namespace elsm

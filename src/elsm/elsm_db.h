@@ -1,0 +1,162 @@
+// ElsmDb — the public authenticated key-value store (paper Eq. 1):
+//
+//   ts            = Put(k, v)
+//   <k, v, ts>    = Get(k, ts_q)
+//   {<k, v, ts>}  = Scan(k1, k2)
+//   Delete(k)                      (tombstone write, §5.4)
+//
+// The facade plays the "trusted application + enclave" side: it assigns
+// timestamps, maintains the WAL digest, drives flush/compaction, persists a
+// sealed manifest bound to the trusted monotonic counter, and — in P2 mode —
+// verifies every read against the enclave-held level roots.
+//
+// A TrustedPlatform outlives the DB instance across close/reopen (simulated
+// power cycles); the SimFs is the untrusted disk the adversary may tamper
+// with or roll back.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+#include "auth/listener.h"
+#include "auth/proof.h"
+#include "auth/verifier.h"
+#include "auth/wal_digest.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "elsm/options.h"
+#include "lsm/engine.h"
+#include "sgxsim/counter.h"
+#include "sgxsim/enclave.h"
+#include "storage/simfs.h"
+
+namespace elsm {
+
+// Hardware that survives "power cycles" (DB close/reopen).
+struct TrustedPlatform {
+  sgx::MonotonicCounter counter;
+  std::string sealing_key = "elsm-sealing-key";
+};
+
+inline constexpr uint64_t kLatest = UINT64_MAX;
+
+class ElsmDb {
+ public:
+  // Opens (or recovers) a store on `fs`. Pass a fresh SimFs for a new store;
+  // pass the same SimFs + platform again to reopen after Close().
+  static Result<std::unique_ptr<ElsmDb>> Open(
+      const Options& options, std::shared_ptr<storage::SimFs> fs,
+      std::shared_ptr<TrustedPlatform> platform);
+
+  // Convenience: fresh enclave + filesystem + platform.
+  static Result<std::unique_ptr<ElsmDb>> Create(const Options& options);
+
+  ~ElsmDb();
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+
+  // Atomic-ish batched writes (LevelDB-style WriteBatch): all entries are
+  // applied under one exclusive section with one trailing flush check, so a
+  // reader never observes a partially applied batch.
+  struct WriteBatch {
+    void Put(std::string_view key, std::string_view value) {
+      entries.push_back({std::string(key), std::string(value), false});
+    }
+    void Delete(std::string_view key) {
+      entries.push_back({std::string(key), "", true});
+    }
+    struct Entry {
+      std::string key;
+      std::string value;
+      bool is_delete;
+    };
+    std::vector<Entry> entries;
+  };
+  Status Write(const WriteBatch& batch);
+
+  // Simple value lookup at the latest timestamp (nullopt = not found).
+  Result<std::optional<std::string>> Get(std::string_view key);
+
+  struct VerifiedRecord {
+    std::optional<lsm::Record> record;  // nullopt = authenticated miss
+    uint64_t proof_bytes = 0;
+    bool verified = false;  // true iff the VRFY algorithm actually ran
+  };
+  Result<VerifiedRecord> GetVerified(std::string_view key,
+                                     uint64_t ts_max = kLatest);
+
+  // Range query; completeness-verified in P2 mode (§5.4).
+  Result<std::vector<lsm::Record>> Scan(std::string_view k1,
+                                        std::string_view k2);
+
+  // Flush L0 + ripple compaction + persist the sealed manifest.
+  Status Flush();
+  Status CompactAll();
+  // Persist and stop; the SimFs/platform can be reused to reopen.
+  Status Close();
+
+  // --- introspection ----------------------------------------------------------
+  sgx::Enclave& enclave() { return *enclave_; }
+  lsm::LsmEngine& engine() { return *engine_; }
+  storage::SimFs& fs() { return *fs_; }
+  TrustedPlatform& platform() { return *platform_; }
+  const Options& options() const { return options_; }
+  uint64_t last_ts() const { return last_ts_; }
+
+  struct OpStats {
+    Histogram put;
+    Histogram get;
+    Histogram scan;
+    uint64_t proof_bytes = 0;
+    uint64_t verified_ops = 0;
+  };
+  const OpStats& op_stats() const { return op_stats_; }
+  void ResetOpStats() { op_stats_ = OpStats{}; }
+
+ private:
+  ElsmDb(const Options& options, std::shared_ptr<storage::SimFs> fs,
+         std::shared_ptr<TrustedPlatform> platform);
+
+  Status Recover();
+  Status PersistManifest();
+  Status FlushLocked();  // requires db_mu_ held exclusively
+  Status FlushIfNeeded();
+  void RecordOpStat(Histogram OpStats::*h, uint64_t latency_ns);
+  std::string manifest_name() const { return options_.name + "/MANIFEST"; }
+
+  std::string TransformKey(std::string_view key) const;
+  std::string TransformValue(std::string_view value, uint64_t ts) const;
+  Status UntransformRecord(lsm::Record* record) const;
+
+  // Extracts the result record without verification (P1 / unsecured).
+  static std::optional<lsm::Record> UnverifiedResult(
+      const lsm::GetResponse& resp);
+
+  Options options_;
+  std::shared_ptr<sgx::Enclave> enclave_;
+  std::shared_ptr<storage::SimFs> fs_;
+  std::shared_ptr<TrustedPlatform> platform_;
+  std::unique_ptr<lsm::LsmEngine> engine_;
+  std::unique_ptr<auth::AuthCompactionListener> listener_;
+  std::unique_ptr<auth::ProofAssembler> assembler_;
+  auth::Verifier verifier_;
+  auth::WalDigest wal_digest_;
+
+  // Facade-level reader/writer lock (paper §5.5.2 multi-threading): writes,
+  // flushes and compactions are exclusive; verified reads share, so a read
+  // always assembles and verifies against one consistent level snapshot.
+  mutable std::shared_mutex db_mu_;
+  mutable std::mutex stats_mu_;
+
+  uint64_t last_ts_ = 0;
+  uint64_t flush_count_ = 0;
+  bool closed_ = false;
+  OpStats op_stats_;
+};
+
+}  // namespace elsm

@@ -1,0 +1,69 @@
+// Public configuration for ElsmDb (paper Table 1 + §5.6 extensions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lsm/engine.h"
+#include "sgxsim/cost_model.h"
+
+namespace elsm {
+
+// Which system from the paper to run.
+enum class Mode {
+  kP2,         // eLSM-P2: code in enclave, buffers outside, record-grained
+               // Merkle digests with embedded proofs (§5)
+  kP1,         // eLSM-P1: everything in enclave, file-grained protection (§4)
+  kUnsecured,  // plain LSM store, no enclave, no authentication (baseline)
+};
+
+struct Options {
+  Mode mode = Mode::kP2;
+  std::string name = "elsm";
+
+  // --- LSM geometry (defaults are the paper's setup scaled /64) ------------
+  uint64_t memtable_bytes = 64 << 10;
+  uint64_t level1_bytes = 256 << 10;
+  uint32_t level_ratio = 4;
+  uint64_t block_bytes = 4096;
+  uint64_t file_bytes = 64 << 10;
+  int bloom_bits_per_key = 10;
+  bool use_bloom = true;
+  bool compaction_enabled = true;
+
+  // --- read path (§5.5.1; ignored for P1, which always uses an in-enclave
+  //     user-space buffer) ---------------------------------------------------
+  lsm::ReadPathKind read_path = lsm::ReadPathKind::kMmap;
+  uint64_t read_buffer_bytes = 8 << 20;
+
+  // --- authentication (P2) -------------------------------------------------
+  // Build the Merkle forest at all (false = a plain LSM store that still
+  // runs inside the enclave — the "SGX port without authentication"
+  // configuration of the paper's Fig. 2 / Fig. 6a preliminary studies).
+  bool authenticate_data = true;
+  bool verify_reads = true;       // run VRFY on every GET/SCAN result
+  bool embed_full_paths = false;  // paper-literal proof layout (DESIGN.md §2)
+
+  // --- freshness / rollback defence (§5.6.1) -------------------------------
+  bool rollback_defense = true;
+  uint32_t counter_sync_period = 1;  // flushes per monotonic-counter bump
+  // Seal + persist the manifest on every flush (durable default). Benches
+  // disable it to keep the measured path free of manifest-sealing costs;
+  // Close() always persists.
+  bool persist_manifest_on_flush = true;
+
+  // --- confidentiality (§5.6.2) ---------------------------------------------
+  bool encrypt_values = false;             // semantically secure values
+  bool deterministic_key_encryption = false;  // searchable (DE) keys;
+                                              // disables SCAN (needs OPE)
+  // Order-preserving key encryption: keeps SCAN working over ciphertext
+  // keys (mutually exclusive with deterministic_key_encryption). Leaks key
+  // order by design — see crypto/ope.h.
+  bool order_preserving_keys = false;
+  std::string data_key = "elsm-data-key";
+
+  // --- simulated hardware ----------------------------------------------------
+  sgx::CostModel cost_model;
+};
+
+}  // namespace elsm

@@ -1,0 +1,77 @@
+#include "lsm/bloom.h"
+
+#include <algorithm>
+
+namespace elsm::lsm {
+namespace {
+
+constexpr int kNumProbes = 7;
+
+}  // namespace
+
+BloomFilter::BloomFilter(int bits_per_key, uint64_t expected_keys) {
+  const uint64_t want_bits =
+      std::max<uint64_t>(64, expected_keys * uint64_t(bits_per_key));
+  bits_.assign((want_bits + 7) / 8, 0);
+}
+
+uint64_t BloomFilter::HashKey(std::string_view key) {
+  // 64-bit FNV-1a over the key bytes.
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void BloomFilter::Add(std::string_view key) {
+  ++key_count_;
+  const size_t nbits = bits_.size() * 8;
+  uint64_t h = HashKey(key);
+  const uint64_t delta = (h >> 17) | (h << 47);
+  for (int i = 0; i < kNumProbes; ++i) {
+    const size_t bit = h % nbits;
+    bits_[bit / 8] |= uint8_t(1) << (bit % 8);
+    h += delta;
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  if (key_count_ == 0) return false;
+  const size_t nbits = bits_.size() * 8;
+  uint64_t h = HashKey(key);
+  const uint64_t delta = (h >> 17) | (h << 47);
+  for (int i = 0; i < kNumProbes; ++i) {
+    const size_t bit = h % nbits;
+    if ((bits_[bit / 8] & (uint8_t(1) << (bit % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+std::string BloomFilter::Encode() const {
+  std::string out;
+  out.reserve(bits_.size() + 8);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(char((key_count_ >> (8 * i)) & 0xff));
+  }
+  out.append(bits_.begin(), bits_.end());
+  return out;
+}
+
+BloomFilter BloomFilter::Decode(std::string_view data) {
+  BloomFilter f(10, 8);
+  if (data.size() < 8) return f;
+  uint64_t count = 0;
+  for (int i = 0; i < 8; ++i) {
+    count |= uint64_t(uint8_t(data[i])) << (8 * i);
+  }
+  f.key_count_ = count;
+  data.remove_prefix(8);
+  f.bits_.assign(data.begin(), data.end());
+  if (f.bits_.empty()) f.bits_.assign(8, 0);
+  return f;
+}
+
+}  // namespace elsm::lsm

@@ -1,0 +1,42 @@
+// Bloom filter over data keys. In eLSM the per-level filters live *inside*
+// the enclave, so a negative answer is a trusted non-membership oracle: the
+// read path can skip a level without fetching an untrusted proof (§5.3,
+// "Meta-data authenticity").
+//
+// The bit array is sized once, up front, from the expected key count —
+// levels are rebuilt wholesale at compaction time when the exact count is
+// known — and never grows afterwards (growth after inserts would introduce
+// false negatives, which for eLSM would be a *completeness violation*).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace elsm::lsm {
+
+class BloomFilter {
+ public:
+  // `bits_per_key` trades space for false-positive rate (10 ≈ 1%).
+  explicit BloomFilter(int bits_per_key = 10, uint64_t expected_keys = 4096);
+
+  void Add(std::string_view key);
+  bool MayContain(std::string_view key) const;
+
+  // Serialization for the manifest.
+  std::string Encode() const;
+  static BloomFilter Decode(std::string_view data);
+
+  size_t bit_count() const { return bits_.size() * 8; }
+  size_t byte_size() const { return bits_.size(); }
+  uint64_t key_count() const { return key_count_; }
+
+ private:
+  static uint64_t HashKey(std::string_view key);
+
+  uint64_t key_count_ = 0;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace elsm::lsm

@@ -1,0 +1,714 @@
+#include "lsm/engine.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace elsm::lsm {
+namespace {
+
+// Append-order locality probe for memtable charging.
+uint64_t KeyProbe(std::string_view key) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+LsmEngine::LsmEngine(LsmOptions options, std::shared_ptr<sgx::Enclave> enclave,
+                     std::shared_ptr<storage::SimFs> fs)
+    : options_(std::move(options)),
+      enclave_(std::move(enclave)),
+      fs_(std::move(fs)),
+      memtable_(std::make_unique<SkipList>()),
+      wal_(fs_.get(), options_.name + "/wal") {
+  memtable_region_ = enclave_->RegisterRegion(options_.memtable_bytes);
+  metadata_region_ = enclave_->RegisterRegion(64 * 1024);
+  if (options_.read_path == ReadPathKind::kBuffer) {
+    read_buffer_ = std::make_unique<storage::ReadBuffer>(
+        enclave_, options_.read_buffer_bytes, options_.buffer_placement);
+  }
+}
+
+LsmEngine::~LsmEngine() {
+  enclave_->FreeRegion(memtable_region_);
+  enclave_->FreeRegion(metadata_region_);
+}
+
+uint64_t LsmEngine::LevelCapacity(size_t pos) const {
+  uint64_t cap = options_.level1_bytes;
+  for (size_t i = 0; i < pos; ++i) cap *= options_.level_ratio;
+  return cap;
+}
+
+std::string LsmEngine::NewFileName(const char* suffix) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/%06llu%s",
+                static_cast<unsigned long long>(next_file_no_++), suffix);
+  return options_.name + buf;
+}
+
+void LsmEngine::ChargeMetadataAccess(size_t level_pos) const {
+  enclave_->AccessRegion(metadata_region_, (level_pos * 4096) % (256 * 1024),
+                         64);
+}
+
+void LsmEngine::RefreshMetadataFootprint() {
+  uint64_t bytes = 4096;
+  for (const LevelMeta& level : levels_) bytes += level.MetadataBytes();
+  enclave_->ResizeRegion(metadata_region_, bytes);
+}
+
+Status LsmEngine::Put(Record record) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ++stats_.puts;
+  const std::string core = record.EncodeCore();
+  // w3: append to the WAL outside the enclave. The world switch is group-
+  // committed across writers; its amortized share lives in wal_append_ns.
+  Status s = wal_.Append(core);
+  if (!s.ok()) return s;
+  // w1: insert into the L0 write buffer inside the enclave.
+  const uint64_t size = record.ByteSize() + 64;
+  enclave_->AccessRegion(memtable_region_,
+                         memtable_used_ % options_.memtable_bytes, size);
+  memtable_used_ += record.ByteSize() + 32;
+  memtable_->Insert(std::move(record));
+  return Status::Ok();
+}
+
+Result<GetResponse> LsmEngine::Get(std::string_view key, uint64_t ts_max) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  ++stats_.gets;
+  GetResponse resp;
+
+  // L0: the in-enclave memtable is trusted; a hit stops the search.
+  enclave_->AccessRegion(memtable_region_,
+                         KeyProbe(key) % options_.memtable_bytes, 128);
+  if (const Record* r = memtable_->Find(key, ts_max)) {
+    resp.memtable_hit = *r;
+    return resp;
+  }
+
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    ChargeMetadataAccess(i);
+    LevelGetResult lr;
+    lr.level_pos = i;
+    if (levels_[i].files.empty() ||
+        (options_.use_bloom && !levels_[i].bloom.MayContain(key))) {
+      lr.bloom_negative = true;
+      resp.levels.push_back(std::move(lr));
+      continue;
+    }
+    Status s = LookupInLevel(levels_[i], key, ts_max, &lr);
+    if (!s.ok()) return s;
+    const bool stop = lr.found;
+    resp.levels.push_back(std::move(lr));
+    if (stop) break;  // early stop (§5.3): deeper levels are provably older
+  }
+  return resp;
+}
+
+Result<std::shared_ptr<const std::string>> LsmEngine::ReadBlock(
+    const FileMeta& file, const BlockHandle& block) const {
+  if (options_.read_path == ReadPathKind::kMmap) {
+    auto it = mmaps_.find(file.name);
+    if (it == mmaps_.end()) {
+      auto region = storage::MmapRegion::Open(*fs_, file.name);
+      if (!region.ok()) return region.status();
+      it = mmaps_.emplace(file.name, std::move(region).value()).first;
+    }
+    auto view = it->second.Read(block.offset, block.size);
+    if (!view.ok()) return view.status();
+    auto bytes = std::make_shared<const std::string>(view.value());
+    if (options_.protect_blocks) {
+      // SDK-style AES-GCM: decrypt + authenticate in one pass.
+      enclave_->ChargeCipher(bytes->size());
+      Status s = VerifyBlockMac(*bytes, options_.mac_key, block.mac);
+      if (!s.ok()) return s;
+    }
+    return bytes;
+  }
+
+  // Buffer path: the cache holds verified plaintext blocks, so the MAC/
+  // decrypt cost is paid once per miss.
+  auto loader = [this, &file, &block]() -> Result<std::string> {
+    auto bytes = fs_->Read(file.name, block.offset, block.size);
+    if (!bytes.ok()) return bytes.status();
+    if (options_.protect_blocks) {
+      // SDK-style AES-GCM: decrypt + authenticate in one pass.
+      enclave_->ChargeCipher(bytes.value().size());
+      Status s = VerifyBlockMac(bytes.value(), options_.mac_key, block.mac);
+      if (!s.ok()) return s;
+    }
+    return bytes;
+  };
+  return read_buffer_->Get(file.name, block.offset, loader);
+}
+
+Result<std::vector<RawEntry>> LsmEngine::ReadParsedBlock(
+    const FileMeta& file, const BlockHandle& block) const {
+  auto bytes = ReadBlock(file, block);
+  if (!bytes.ok()) return bytes.status();
+  return ParseBlock(*bytes.value());
+}
+
+Result<RawEntry> LsmEngine::FirstHead(const FileMeta& file) const {
+  auto entries = ReadParsedBlock(file, file.blocks.front());
+  if (!entries.ok()) return entries.status();
+  if (entries.value().empty()) return Status::Corruption("empty block");
+  return entries.value().front();
+}
+
+Result<RawEntry> LsmEngine::LastHead(const FileMeta& file) const {
+  auto entries = ReadParsedBlock(file, file.blocks.back());
+  if (!entries.ok()) return entries.status();
+  auto& v = entries.value();
+  if (v.empty()) return Status::Corruption("empty block");
+  // Walk back from the last entry to its group head (groups never straddle
+  // blocks, so the head is in this block).
+  size_t i = v.size() - 1;
+  while (i > 0 && v[i - 1].record.key == v[i].record.key) --i;
+  return v[i];
+}
+
+Status LsmEngine::LookupInLevel(const LevelMeta& level, std::string_view key,
+                                uint64_t ts_max, LevelGetResult* out) const {
+  const auto& files = level.files;
+  // First file whose range may contain `key`.
+  size_t fi = 0;
+  {
+    size_t lo = 0, hi = files.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (files[mid].largest < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    fi = lo;
+  }
+
+  if (fi == files.size()) {  // key beyond the whole level
+    auto pred = LastHead(files.back());
+    if (!pred.ok()) return pred.status();
+    out->pred = std::move(pred).value();
+    return Status::Ok();
+  }
+  if (key < files[fi].smallest) {  // key falls in a gap before file fi
+    auto succ = FirstHead(files[fi]);
+    if (!succ.ok()) return succ.status();
+    out->succ = std::move(succ).value();
+    if (fi > 0) {
+      auto pred = LastHead(files[fi - 1]);
+      if (!pred.ok()) return pred.status();
+      out->pred = std::move(pred).value();
+    }
+    return Status::Ok();
+  }
+
+  const FileMeta& file = files[fi];
+  // Last block whose first_key <= key.
+  size_t bi = 0;
+  {
+    size_t lo = 0, hi = file.blocks.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (file.blocks[mid].first_key <= key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    bi = lo == 0 ? 0 : lo - 1;
+  }
+
+  auto parsed = ReadParsedBlock(file, file.blocks[bi]);
+  if (!parsed.ok()) return parsed.status();
+  const std::vector<RawEntry>& entries = parsed.value();
+
+  // Find the key's group.
+  size_t g = 0;
+  while (g < entries.size() && entries[g].record.key < key) ++g;
+  if (g < entries.size() && entries[g].record.key == key) {
+    // Collect the chain prefix: records newer than ts_max, then the result.
+    size_t i = g;
+    while (i < entries.size() && entries[i].record.key == key &&
+           entries[i].record.ts > ts_max) {
+      out->chain.push_back(entries[i]);
+      ++i;
+    }
+    if (i < entries.size() && entries[i].record.key == key) {
+      out->chain.push_back(entries[i]);
+      out->found = true;  // visible version located
+    }
+    return Status::Ok();
+  }
+
+  // Non-membership: bracket the key.
+  if (g > 0) {
+    // Group head of the last key below `key` (head is in this block).
+    size_t j = g - 1;
+    while (j > 0 && entries[j - 1].record.key == entries[j].record.key) --j;
+    out->pred = entries[j];
+  } else {
+    // key < every entry although first_key <= key cannot happen; guard
+    // against corrupted metadata by bracketing with the previous file.
+    if (fi > 0) {
+      auto pred = LastHead(files[fi - 1]);
+      if (!pred.ok()) return pred.status();
+      out->pred = std::move(pred).value();
+    }
+  }
+  if (g < entries.size()) {
+    out->succ = entries[g];  // first entry above `key` is a group head
+  } else if (bi + 1 < file.blocks.size()) {
+    auto next = ReadParsedBlock(file, file.blocks[bi + 1]);
+    if (!next.ok()) return next.status();
+    if (next.value().empty()) return Status::Corruption("empty block");
+    out->succ = next.value().front();
+  } else if (fi + 1 < files.size()) {
+    auto succ = FirstHead(files[fi + 1]);
+    if (!succ.ok()) return succ.status();
+    out->succ = std::move(succ).value();
+  }
+  return Status::Ok();
+}
+
+Result<ScanResponse> LsmEngine::Scan(std::string_view k1,
+                                     std::string_view k2) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  ++stats_.scans;
+  ScanResponse resp;
+
+  // L0: trusted scan of the memtable (newest visible version per key).
+  enclave_->AccessRegion(memtable_region_, 0, options_.memtable_bytes / 4);
+  std::string last_key;
+  bool have_last = false;
+  for (auto it = memtable_->NewIterator(); it.Valid(); it.Next()) {
+    const Record& r = it.record();
+    if (r.key < k1 || (have_last && r.key == last_key)) continue;
+    if (r.key > k2) break;
+    resp.memtable_records.push_back(r);
+    last_key = r.key;
+    have_last = true;
+  }
+
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    ChargeMetadataAccess(i);
+    LevelScanResult lr;
+    lr.level_pos = i;
+    if (!levels_[i].files.empty()) {
+      Status s = ScanInLevel(levels_[i], k1, k2, &lr);
+      if (!s.ok()) return s;
+    }
+    resp.levels.push_back(std::move(lr));
+  }
+  return resp;
+}
+
+Status LsmEngine::ScanInLevel(const LevelMeta& level, std::string_view k1,
+                              std::string_view k2,
+                              LevelScanResult* out) const {
+  const auto& files = level.files;
+  size_t fi = 0;
+  {
+    size_t lo = 0, hi = files.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (files[mid].largest < k1) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    fi = lo;
+  }
+  if (fi == files.size()) {  // whole level below the range
+    auto pred = LastHead(files.back());
+    if (!pred.ok()) return pred.status();
+    out->pred = std::move(pred).value();
+    return Status::Ok();
+  }
+  size_t bi = 0;
+  if (k1 >= files[fi].smallest) {
+    size_t lo = 0, hi = files[fi].blocks.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (files[fi].blocks[mid].first_key <= k1) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    bi = lo == 0 ? 0 : lo - 1;
+    if (files[fi].blocks[bi].first_key == k1) {
+      // The start block holds nothing below k1; the left-boundary witness
+      // lives in the previous block/file.
+      if (bi > 0) {
+        --bi;
+      } else if (fi > 0) {
+        auto pred = LastHead(files[fi - 1]);
+        if (!pred.ok()) return pred.status();
+        out->pred = std::move(pred).value();
+      }
+    }
+  } else if (fi > 0) {
+    auto pred = LastHead(files[fi - 1]);
+    if (!pred.ok()) return pred.status();
+    out->pred = std::move(pred).value();
+  }
+
+  // Walk blocks forward collecting group heads until we pass k2.
+  std::string prev_key;
+  bool have_prev = false;
+  for (size_t f = fi; f < files.size(); ++f) {
+    for (size_t b = (f == fi ? bi : 0); b < files[f].blocks.size(); ++b) {
+      auto parsed = ReadParsedBlock(files[f], files[f].blocks[b]);
+      if (!parsed.ok()) return parsed.status();
+      for (const RawEntry& e : parsed.value()) {
+        const bool is_head = !have_prev || e.record.key != prev_key;
+        prev_key = e.record.key;
+        have_prev = true;
+        if (!is_head) continue;
+        if (e.record.key < k1) {
+          out->pred = e;
+        } else if (e.record.key <= k2) {
+          out->heads.push_back(e);
+        } else {
+          out->succ = e;
+          return Status::Ok();
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<RawEntry>> LsmEngine::LoadLevel(
+    const LevelMeta& level) const {
+  std::vector<RawEntry> run;
+  run.reserve(level.num_records);
+  for (const FileMeta& file : level.files) {
+    // m1: OCall to load the input file into untrusted memory, then the
+    // enclave streams it.
+    enclave_->ChargeOcall();
+    auto bytes = fs_->ReadAll(file.name);
+    if (!bytes.ok()) return bytes.status();
+    enclave_->UntrustedRead(bytes.value().size());
+    for (const BlockHandle& block : file.blocks) {
+      if (block.offset + block.size > bytes.value().size()) {
+        return Status::Corruption("block beyond file");
+      }
+      const std::string_view view(bytes.value().data() + block.offset,
+                                  block.size);
+      if (options_.protect_blocks) {
+        enclave_->ChargeCipher(view.size());  // one-pass AES-GCM
+        Status s = VerifyBlockMac(view, options_.mac_key, block.mac);
+        if (!s.ok()) return s;
+      }
+      auto parsed = ParseBlock(view);
+      if (!parsed.ok()) return parsed.status();
+      for (RawEntry& e : parsed.value()) run.push_back(std::move(e));
+    }
+  }
+  return run;
+}
+
+Status LsmEngine::Flush() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (memtable_->empty()) return Status::Ok();
+  ++stats_.flushes;
+
+  std::vector<RawEntry> run;
+  run.reserve(memtable_->size());
+  for (auto it = memtable_->NewIterator(); it.Valid(); it.Next()) {
+    RawEntry e;
+    e.record = it.record();
+    e.core = e.record.EncodeCore();
+    run.push_back(std::move(e));
+  }
+  // w2: stream the sorted buffer out of the enclave.
+  enclave_->AccessRegion(memtable_region_, 0, memtable_used_);
+
+  const bool as_new_level = !options_.compaction_enabled;
+  Status s = MergeRuns(std::move(run), /*upper_depth=*/-1, /*target_pos=*/0,
+                       as_new_level);
+  if (!s.ok()) return s;
+  memtable_ = std::make_unique<SkipList>();
+  memtable_used_ = 0;
+  return Status::Ok();
+}
+
+Status LsmEngine::MaybeCompact() {
+  if (!options_.compaction_enabled) return Status::Ok();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].bytes <= LevelCapacity(i)) continue;
+    auto upper = LoadLevel(levels_[i]);
+    if (!upper.ok()) return upper.status();
+    Status s = MergeRuns(std::move(upper).value(), static_cast<int>(i), i + 1,
+                         /*insert_as_new=*/false);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status LsmEngine::CompactAll() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  while (true) {
+    // Find the shallowest non-empty level with something below it.
+    size_t first = levels_.size();
+    for (size_t i = 0; i < levels_.size(); ++i) {
+      if (!levels_[i].files.empty()) {
+        first = i;
+        break;
+      }
+    }
+    if (first >= levels_.size()) return Status::Ok();
+    bool deeper = false;
+    for (size_t j = first + 1; j < levels_.size(); ++j) {
+      if (!levels_[j].files.empty()) {
+        deeper = true;
+        break;
+      }
+    }
+    if (!deeper) return Status::Ok();
+    auto upper = LoadLevel(levels_[first]);
+    if (!upper.ok()) return upper.status();
+    // Merge into the next non-empty level.
+    size_t target = first + 1;
+    while (target < levels_.size() && levels_[target].files.empty()) ++target;
+    Status s = MergeRuns(std::move(upper).value(), static_cast<int>(first),
+                         target, /*insert_as_new=*/false);
+    if (!s.ok()) return s;
+  }
+}
+
+Status LsmEngine::MergeRuns(std::vector<RawEntry> upper, int upper_depth,
+                            size_t target_pos, bool insert_as_new) {
+  ++stats_.compactions;
+  const bool target_exists = !insert_as_new && target_pos < levels_.size();
+
+  std::vector<RawEntry> lower;
+  if (target_exists && !levels_[target_pos].files.empty()) {
+    auto loaded = LoadLevel(levels_[target_pos]);
+    if (!loaded.ok()) return loaded.status();
+    lower = std::move(loaded).value();
+  }
+
+  // m2 step (a): authenticate the inputs read from the untrusted world.
+  if (listener_ != nullptr) {
+    const LevelMeta* upper_meta =
+        upper_depth >= 0 ? &levels_[size_t(upper_depth)] : nullptr;
+    Status s = listener_->OnInputRun(upper_depth, upper, upper_meta);
+    if (!s.ok()) return s;
+    if (target_exists) {
+      s = listener_->OnInputRun(static_cast<int>(target_pos), lower,
+                                &levels_[target_pos]);
+      if (!s.ok()) return s;
+    }
+  }
+  stats_.compaction_bytes_in += upper.size() + lower.size();
+
+  // Merge the two sorted runs (key asc, ts desc); the upper run holds the
+  // newer records so on equal ordering it wins.
+  std::vector<Record> merged;
+  merged.reserve(upper.size() + lower.size());
+  InternalKeyLess less;
+  size_t a = 0, b = 0;
+  while (a < upper.size() || b < lower.size()) {
+    if (b >= lower.size() ||
+        (a < upper.size() && !less(lower[b].record, upper[a].record))) {
+      merged.push_back(std::move(upper[a].record));
+      ++a;
+    } else {
+      merged.push_back(std::move(lower[b].record));
+      ++b;
+    }
+  }
+
+  // Drop policy: when the output is (or becomes) the deepest data, a key
+  // group whose newest record is a tombstone is physically dropped (§5.4).
+  const bool to_bottom =
+      insert_as_new ? levels_.empty()
+                    : (target_pos + 1 >= levels_.size() ||
+                       [&] {
+                         for (size_t j = target_pos + 1; j < levels_.size();
+                              ++j) {
+                           if (!levels_[j].files.empty()) return false;
+                         }
+                         return true;
+                       }());
+  std::vector<Record> output;
+  output.reserve(merged.size());
+  for (size_t i = 0; i < merged.size();) {
+    size_t j = i;
+    while (j < merged.size() && merged[j].key == merged[i].key) ++j;
+    const bool drop_group = to_bottom && merged[i].deleted();
+    if (!drop_group) {
+      if (options_.keep_old_versions) {
+        for (size_t k = i; k < j; ++k) output.push_back(std::move(merged[k]));
+      } else {
+        output.push_back(std::move(merged[i]));
+      }
+    }
+    i = j;
+  }
+  enclave_->Copy(output.size() * 128, /*cross_boundary=*/false);
+
+  // m2 steps (b)+(c): digest the output and generate embedded proofs.
+  CompactionSeal seal;
+  if (listener_ != nullptr) {
+    auto sealed = listener_->OnOutput(output);
+    if (!sealed.ok()) return sealed.status();
+    seal = std::move(sealed).value();
+    if (!seal.proof_blobs.empty() && seal.proof_blobs.size() != output.size()) {
+      return Status::InvalidArgument("seal proof count mismatch");
+    }
+  }
+
+  LevelMeta fresh;
+  Status s = WriteLevel(output, seal, &fresh);
+  if (!s.ok()) return s;
+  stats_.compaction_bytes_out += output.size();
+
+  // m3: install the new level, drop the inputs.
+  if (target_exists) DropLevelFiles(levels_[target_pos]);
+  if (upper_depth >= 0) {
+    DropLevelFiles(levels_[size_t(upper_depth)]);
+    levels_[size_t(upper_depth)] = LevelMeta();  // now an empty level
+  }
+  if (insert_as_new) {
+    levels_.insert(levels_.begin(), std::move(fresh));
+  } else if (target_exists) {
+    levels_[target_pos] = std::move(fresh);
+  } else {
+    levels_.insert(levels_.begin() + target_pos, std::move(fresh));
+  }
+  RefreshMetadataFootprint();
+  return Status::Ok();
+}
+
+Status LsmEngine::WriteLevel(const std::vector<Record>& output,
+                             const CompactionSeal& seal, LevelMeta* out) {
+  LevelMeta level;
+  level.bloom = BloomFilter(options_.bloom_bits_per_key,
+                            std::max<uint64_t>(output.size(), 16));
+  level.root = seal.root;
+  level.leaf_count = seal.leaf_count;
+
+  SSTableBuilder builder(options_.block_bytes,
+                         options_.protect_blocks ? options_.mac_key : "");
+  auto finish_file = [&]() -> Status {
+    FileMeta meta;
+    std::string contents = builder.Finish(&meta);
+    if (contents.empty()) return Status::Ok();
+    meta.name = NewFileName(".sst");
+    if (options_.protect_blocks) {
+      // SDK-style whole-file encrypt + MAC (one-pass AES-GCM).
+      enclave_->ChargeCipher(contents.size());
+    }
+    enclave_->ChargeOcall();
+    enclave_->Copy(contents.size(), /*cross_boundary=*/true);
+    Status s = fs_->Write(meta.name, std::move(contents));
+    if (!s.ok()) return s;
+    level.bytes += meta.size;
+    level.num_records += meta.num_records;
+    if (listener_ != nullptr) listener_->OnTableFileCreated(meta);
+    level.files.push_back(std::move(meta));
+    return Status::Ok();
+  };
+
+  std::string prev_key;
+  for (size_t i = 0; i < output.size(); ++i) {
+    const Record& r = output[i];
+    if (builder.pending_bytes() >= options_.file_bytes && r.key != prev_key) {
+      Status s = finish_file();
+      if (!s.ok()) return s;
+    }
+    if (r.key != prev_key) level.bloom.Add(r.key);
+    builder.Add(r, seal.proof_blobs.empty() ? std::string_view()
+                                            : seal.proof_blobs[i]);
+    prev_key = r.key;
+  }
+  Status s = finish_file();
+  if (!s.ok()) return s;
+
+  if (!seal.tree_payload.empty()) {
+    level.tree_file = NewFileName(".tree");
+    enclave_->ChargeOcall();
+    s = fs_->Write(level.tree_file, seal.tree_payload);
+    if (!s.ok()) return s;
+  }
+  *out = std::move(level);
+  return Status::Ok();
+}
+
+void LsmEngine::DropLevelFiles(const LevelMeta& level) {
+  for (const FileMeta& file : level.files) {
+    mmaps_.erase(file.name);
+    if (read_buffer_ != nullptr) read_buffer_->Invalidate(file.name);
+    (void)fs_->Delete(file.name);
+  }
+  if (!level.tree_file.empty()) {
+    mmaps_.erase(level.tree_file);
+    (void)fs_->Delete(level.tree_file);
+  }
+}
+
+std::string LsmEngine::EncodeManifest() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::string out;
+  PutVarint64(&out, next_file_no_);
+  out += EncodeLevels(levels_);
+  return out;
+}
+
+Status LsmEngine::RestoreManifest(std::string_view manifest) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  uint64_t next_no = 0;
+  if (!GetVarint64(&manifest, &next_no)) {
+    return Status::Corruption("bad manifest header");
+  }
+  auto levels = DecodeLevels(manifest);
+  if (!levels.ok()) return levels.status();
+  next_file_no_ = next_no;
+  levels_ = std::move(levels).value();
+  memtable_ = std::make_unique<SkipList>();
+  memtable_used_ = 0;
+  mmaps_.clear();
+  RefreshMetadataFootprint();
+  return Status::Ok();
+}
+
+Result<storage::WalContents> LsmEngine::ReadWalRecords() const {
+  return storage::ReadWal(*fs_, options_.name + "/wal");
+}
+
+Status LsmEngine::ReinsertFromWal(Record record) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const uint64_t size = record.ByteSize() + 64;
+  enclave_->AccessRegion(memtable_region_,
+                         memtable_used_ % options_.memtable_bytes, size);
+  memtable_used_ += record.ByteSize() + 32;
+  memtable_->Insert(std::move(record));
+  return Status::Ok();
+}
+
+Status LsmEngine::ResetWal() {
+  const std::string name = options_.name + "/wal";
+  if (fs_->Exists(name)) return fs_->Delete(name);
+  return Status::Ok();
+}
+
+uint64_t LsmEngine::wal_bytes() const {
+  auto size = fs_->FileSize(options_.name + "/wal");
+  return size.ok() ? size.value() : 0;
+}
+
+}  // namespace elsm::lsm

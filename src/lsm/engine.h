@@ -1,0 +1,234 @@
+// LsmEngine: a LevelDB-class LSM store over the simulated enclave substrate.
+//
+// Layout (paper §5.1): L0 is the in-enclave memtable; disk levels are a
+// stack of sorted runs, shallowest first (levels()[0] is the paper's L1).
+// Each disk level is one sorted run split into SSTable files. Compaction is
+// the paper's basic form — merge a full level into the next one.
+//
+// The engine is "vanilla": it knows nothing about Merkle trees. It exposes
+// the two integration points the paper uses for RocksDB (§5.5.3):
+//   * CompactionListener::OnInputRun / OnOutput — the Filter() /
+//     OnTableFileCreated() analogue through which auth verifies compaction
+//     inputs and seals outputs (root, leaf count, proof blobs, tree sidecar);
+//   * opaque per-record proof blobs stored alongside records in SSTables.
+//
+// Read paths (§5.5.1): mmap (direct untrusted-memory access) or a
+// user-space ReadBuffer placed outside (P2) or inside (P1) the enclave.
+// With `protect_blocks` (P1) every block carries an HMAC checked on load
+// and the engine charges SDK-style encrypt/decrypt costs.
+//
+// Thread safety: a shared_mutex allows concurrent Get/Scan; Put/Flush/
+// compaction take the exclusive lock (LevelDB-style single writer).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "lsm/record.h"
+#include "lsm/skiplist.h"
+#include "lsm/sstable.h"
+#include "lsm/version.h"
+#include "sgxsim/enclave.h"
+#include "storage/mmap.h"
+#include "storage/read_buffer.h"
+#include "storage/simfs.h"
+#include "storage/wal.h"
+
+namespace elsm::lsm {
+
+enum class ReadPathKind { kMmap, kBuffer };
+
+struct LsmOptions {
+  std::string name = "db";
+  uint64_t memtable_bytes = 64 << 10;
+  uint64_t level1_bytes = 256 << 10;
+  uint32_t level_ratio = 4;
+  uint64_t block_bytes = 4096;
+  uint64_t file_bytes = 64 << 10;
+  int bloom_bits_per_key = 10;
+  bool use_bloom = true;
+  bool compaction_enabled = true;
+  ReadPathKind read_path = ReadPathKind::kMmap;
+  uint64_t read_buffer_bytes = 8 << 20;
+  storage::BufferPlacement buffer_placement =
+      storage::BufferPlacement::kOutsideEnclave;
+  // eLSM-P1 file-granularity protection: per-block HMAC + cipher charges.
+  bool protect_blocks = false;
+  std::string mac_key = "elsm-p1-file-key";
+  // Keep superseded versions of a key during compaction (eLSM chains need
+  // them for time-travel GETs); tombstone-covered records are still dropped
+  // when merging into the deepest level.
+  bool keep_old_versions = true;
+};
+
+// Everything a CompactionListener returns to seal a freshly built level.
+struct CompactionSeal {
+  std::vector<std::string> proof_blobs;  // aligned with output records
+  crypto::Hash256 root = crypto::kZeroHash;
+  uint64_t leaf_count = 0;
+  std::string tree_payload;  // written as the level's sidecar when non-empty
+};
+
+class CompactionListener {
+ public:
+  virtual ~CompactionListener() = default;
+  // Called once per input run in search order. src_depth == -1 means the
+  // memtable (trusted, blobs empty); otherwise it is the level position.
+  // `meta` is null for the memtable run. Returning non-OK aborts the merge.
+  virtual Status OnInputRun(int src_depth, const std::vector<RawEntry>& run,
+                            const LevelMeta* meta) {
+    (void)src_depth;
+    (void)run;
+    (void)meta;
+    return Status::Ok();
+  }
+  // Called with the merged output before any file is written. The seal's
+  // proof_blobs must be empty or exactly one per record.
+  virtual Result<CompactionSeal> OnOutput(const std::vector<Record>& output) {
+    (void)output;
+    return CompactionSeal{};
+  }
+  virtual void OnTableFileCreated(const FileMeta& meta) { (void)meta; }
+};
+
+// One consulted level during a GET (paper §5.3 r1: the untrusted store
+// prepares proof material; verification happens in the facade/enclave).
+struct LevelGetResult {
+  size_t level_pos = 0;
+  bool bloom_negative = false;  // trusted skip: filter lives in the enclave
+  bool found = false;           // chain ends with a record visible at ts_max
+  // Group prefix, newest first: entries with ts > ts_max, then (iff found)
+  // the result record. Empty if the key's group is absent from the level.
+  std::vector<RawEntry> chain;
+  std::optional<RawEntry> pred;  // newest record of the preceding key group
+  std::optional<RawEntry> succ;  // newest record of the following key group
+};
+
+struct GetResponse {
+  std::optional<Record> memtable_hit;  // trusted L0 answer (early stop)
+  std::vector<LevelGetResult> levels;  // search order; ends at hit level
+};
+
+// One consulted level during a SCAN.
+struct LevelScanResult {
+  size_t level_pos = 0;
+  std::vector<RawEntry> heads;   // newest record of each key group in range
+  std::optional<RawEntry> pred;  // newest record of last group below range
+  std::optional<RawEntry> succ;  // newest record of first group above range
+};
+
+struct ScanResponse {
+  std::vector<Record> memtable_records;  // trusted, newest per key in range
+  std::vector<LevelScanResult> levels;
+};
+
+struct EngineStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t scans = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t compaction_bytes_in = 0;
+  uint64_t compaction_bytes_out = 0;
+};
+
+class LsmEngine {
+ public:
+  LsmEngine(LsmOptions options, std::shared_ptr<sgx::Enclave> enclave,
+            std::shared_ptr<storage::SimFs> fs);
+  ~LsmEngine();
+
+  LsmEngine(const LsmEngine&) = delete;
+  LsmEngine& operator=(const LsmEngine&) = delete;
+
+  void SetListener(CompactionListener* listener) { listener_ = listener; }
+
+  // Appends to the WAL and inserts into the memtable. The caller assigns
+  // timestamps and decides when to Flush (memtable_bytes() tells how full
+  // L0 is). Tombstones are Puts with RecordType::kTombstone.
+  Status Put(Record record);
+
+  Result<GetResponse> Get(std::string_view key, uint64_t ts_max);
+  Result<ScanResponse> Scan(std::string_view k1, std::string_view k2);
+
+  // Memtable -> disk. With compaction enabled the run merges into the
+  // shallowest level; otherwise it becomes a new level on top of the stack.
+  Status Flush();
+  // Merges any level exceeding its capacity into the next one (rippling).
+  Status MaybeCompact();
+  // Force-merges the whole stack into a single deepest level.
+  Status CompactAll();
+
+  const std::vector<LevelMeta>& levels() const { return levels_; }
+  size_t memtable_entries() const { return memtable_->size(); }
+  uint64_t memtable_bytes() const { return memtable_used_; }
+  const EngineStats& stats() const { return stats_; }
+  const LsmOptions& options() const { return options_; }
+  storage::SimFs& fs() { return *fs_; }
+  sgx::Enclave& enclave() { return *enclave_; }
+
+  // --- manifest & recovery (driven by the elsm facade) ---------------------
+  std::string EncodeManifest() const;
+  Status RestoreManifest(std::string_view manifest);
+  Result<storage::WalContents> ReadWalRecords() const;
+  // Reinserts a WAL record into the memtable without re-appending it.
+  Status ReinsertFromWal(Record record);
+  Status ResetWal();
+  uint64_t wal_bytes() const;
+
+ private:
+  uint64_t LevelCapacity(size_t pos) const;
+  std::string NewFileName(const char* suffix);
+
+  Result<std::shared_ptr<const std::string>> ReadBlock(const FileMeta& file,
+                                                       const BlockHandle& block)
+      const;
+  Result<std::vector<RawEntry>> ReadParsedBlock(const FileMeta& file,
+                                                const BlockHandle& block) const;
+
+  Status LookupInLevel(const LevelMeta& level, std::string_view key,
+                       uint64_t ts_max, LevelGetResult* out) const;
+  Status ScanInLevel(const LevelMeta& level, std::string_view k1,
+                     std::string_view k2, LevelScanResult* out) const;
+  // Newest record of the key group holding the first/last entry of a file.
+  Result<RawEntry> FirstHead(const FileMeta& file) const;
+  Result<RawEntry> LastHead(const FileMeta& file) const;
+
+  Result<std::vector<RawEntry>> LoadLevel(const LevelMeta& level) const;
+  // Merge `upper` (search-order-shallower) into the level at `target_pos`
+  // (which may equal levels_.size() to create a new deepest level). When
+  // `insert_as_new` is true the run becomes a brand-new shallowest level.
+  Status MergeRuns(std::vector<RawEntry> upper, int upper_depth,
+                   size_t target_pos, bool insert_as_new);
+  Status WriteLevel(const std::vector<Record>& output,
+                    const CompactionSeal& seal, LevelMeta* out);
+  void DropLevelFiles(const LevelMeta& level);
+  void ChargeMetadataAccess(size_t level_pos) const;
+  void RefreshMetadataFootprint();
+
+  LsmOptions options_;
+  std::shared_ptr<sgx::Enclave> enclave_;
+  std::shared_ptr<storage::SimFs> fs_;
+  CompactionListener* listener_ = nullptr;
+
+  mutable std::shared_mutex mu_;
+  std::unique_ptr<SkipList> memtable_;
+  uint64_t memtable_used_ = 0;
+  std::vector<LevelMeta> levels_;
+  uint64_t next_file_no_ = 1;
+
+  storage::WalWriter wal_;
+  std::unique_ptr<storage::ReadBuffer> read_buffer_;
+  mutable std::unordered_map<std::string, storage::MmapRegion> mmaps_;
+  sgx::RegionId memtable_region_ = 0;
+  sgx::RegionId metadata_region_ = 0;
+  mutable EngineStats stats_;
+};
+
+}  // namespace elsm::lsm

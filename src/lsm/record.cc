@@ -1,0 +1,37 @@
+#include "lsm/record.h"
+
+#include "common/coding.h"
+
+namespace elsm::lsm {
+
+std::string Record::EncodeCore() const {
+  std::string out;
+  out.reserve(key.size() + value.size() + 12);
+  PutLengthPrefixed(&out, key);
+  PutFixed64(&out, ts);
+  out.push_back(static_cast<char>(type));
+  PutLengthPrefixed(&out, value);
+  return out;
+}
+
+Result<Record> Record::DecodeCore(std::string_view* input) {
+  Record r;
+  std::string_view key;
+  std::string_view value;
+  if (!GetLengthPrefixed(input, &key) || !GetFixed64(input, &r.ts) ||
+      input->empty()) {
+    return Status::Corruption("bad record encoding");
+  }
+  const uint8_t type = static_cast<uint8_t>(input->front());
+  input->remove_prefix(1);
+  if (type > 1) return Status::Corruption("bad record type");
+  r.type = static_cast<RecordType>(type);
+  if (!GetLengthPrefixed(input, &value)) {
+    return Status::Corruption("bad record encoding");
+  }
+  r.key.assign(key);
+  r.value.assign(value);
+  return r;
+}
+
+}  // namespace elsm::lsm

@@ -1,0 +1,47 @@
+// Key-value record model (paper Eq. 1): a record is <key, value, ts, type>.
+// Timestamps are assigned by the in-enclave timestamp manager; tombstones
+// implement deletes (§5.4).
+//
+// EncodeCore() is the canonical byte form — it is what hash chains digest,
+// what the WAL frames, and what SSTable entries store (followed by a
+// length-prefixed embedded-proof blob that is *not* part of the core
+// encoding, so proofs can be re-embedded without changing record identity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace elsm::lsm {
+
+enum class RecordType : uint8_t { kValue = 0, kTombstone = 1 };
+
+struct Record {
+  std::string key;
+  std::string value;
+  uint64_t ts = 0;
+  RecordType type = RecordType::kValue;
+
+  bool deleted() const { return type == RecordType::kTombstone; }
+
+  std::string EncodeCore() const;
+  // Consumes one record from the front of *input.
+  static Result<Record> DecodeCore(std::string_view* input);
+
+  size_t ByteSize() const { return key.size() + value.size() + 16; }
+
+  bool operator==(const Record& other) const = default;
+};
+
+// LSM internal ordering: ascending key, then descending timestamp (newest
+// first), matching the sorted-run layout of a level.
+struct InternalKeyLess {
+  bool operator()(const Record& a, const Record& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return a.ts > b.ts;
+  }
+};
+
+}  // namespace elsm::lsm

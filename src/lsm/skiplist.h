@@ -1,0 +1,129 @@
+// Probabilistic skiplist keyed by (user key asc, ts desc) — the MemTable's
+// core structure, mirroring LevelDB's. Single writer at a time (the engine
+// serializes writes); concurrent readers are safe against a quiesced list
+// (the engine uses a shared_mutex around memtable access).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "lsm/record.h"
+
+namespace elsm::lsm {
+
+class SkipList {
+ public:
+  SkipList() : rng_(0xe15a), head_(MakeNode(Record{}, kMaxHeight)) {}
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  // Inserts a record; duplicate (key, ts) pairs keep the latest insertion
+  // ordered after the earlier one is replaced (writes always carry fresh
+  // timestamps, so true duplicates don't occur in normal operation).
+  void Insert(Record record);
+
+  // Newest record for `key` with ts <= ts_max, or nullptr.
+  const Record* Find(std::string_view key, uint64_t ts_max) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  struct Node {
+    Record record;
+    std::vector<Node*> next;
+  };
+
+ public:
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : node_(list->head_->next[0]) {}
+    bool Valid() const { return node_ != nullptr; }
+    const Record& record() const { return node_->record; }
+    void Next() { node_ = node_->next[0]; }
+
+   private:
+    friend class SkipList;
+    const Node* node_;
+  };
+  Iterator NewIterator() const { return Iterator(this); }
+
+ private:
+
+  Node* MakeNode(Record record, int height) {
+    nodes_.push_back(std::make_unique<Node>());
+    Node* n = nodes_.back().get();
+    n->record = std::move(record);
+    n->next.assign(height, nullptr);
+    return n;
+  }
+
+  int RandomHeight() {
+    int h = 1;
+    while (h < kMaxHeight && rng_.Uniform(4) == 0) ++h;
+    return h;
+  }
+
+  bool Less(const Record& a, const Record& b) const { return cmp_(a, b); }
+
+  InternalKeyLess cmp_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  Node* head_;
+  int height_ = 1;
+  size_t size_ = 0;
+
+  friend class Iterator;
+};
+
+inline void SkipList::Insert(Record record) {
+  Node* prev[kMaxHeight];
+  Node* x = head_;
+  for (int level = height_ - 1; level >= 0; --level) {
+    while (x->next[level] != nullptr && Less(x->next[level]->record, record)) {
+      x = x->next[level];
+    }
+    prev[level] = x;
+  }
+  const int h = RandomHeight();
+  if (h > height_) {
+    for (int level = height_; level < h; ++level) prev[level] = head_;
+    height_ = h;
+  }
+  Node* n = MakeNode(std::move(record), h);
+  for (int level = 0; level < h; ++level) {
+    n->next[level] = prev[level]->next[level];
+    prev[level]->next[level] = n;
+  }
+  ++size_;
+}
+
+inline const Record* SkipList::Find(std::string_view key,
+                                    uint64_t ts_max) const {
+  // Seek to the first node with (key, ts <= ts_max): because ordering is
+  // (key asc, ts desc), that node — if its key matches — is the newest
+  // visible version.
+  Record probe;
+  probe.key.assign(key);
+  probe.ts = ts_max;
+  const Node* x = head_;
+  for (int level = height_ - 1; level >= 0; --level) {
+    while (x->next[level] != nullptr && Less(x->next[level]->record, probe)) {
+      x = x->next[level];
+    }
+  }
+  const Node* candidate = x->next[0];
+  if (candidate != nullptr && candidate->record.key == key &&
+      candidate->record.ts <= ts_max) {
+    return &candidate->record;
+  }
+  return nullptr;
+}
+
+}  // namespace elsm::lsm

@@ -1,0 +1,79 @@
+#include "lsm/sstable.h"
+
+#include "common/coding.h"
+#include "crypto/hmac.h"
+
+namespace elsm::lsm {
+
+SSTableBuilder::SSTableBuilder(uint64_t block_bytes, std::string mac_key)
+    : block_bytes_(block_bytes == 0 ? 4096 : block_bytes),
+      mac_key_(std::move(mac_key)) {}
+
+void SSTableBuilder::FlushBlock() {
+  if (block_.empty()) return;
+  current_.offset = contents_.size();
+  current_.size = block_.size();
+  if (!mac_key_.empty()) {
+    current_.mac = crypto::HmacSha256(mac_key_, block_);
+  }
+  contents_ += block_;
+  meta_.blocks.push_back(current_);
+  block_.clear();
+  current_ = BlockHandle{};
+}
+
+void SSTableBuilder::Add(const Record& record, std::string_view proof_blob) {
+  // Only break blocks at key-group boundaries.
+  if (block_.size() >= block_bytes_ && record.key != last_key_) FlushBlock();
+  if (block_.empty()) current_.first_key = record.key;
+  const std::string core = record.EncodeCore();
+  PutLengthPrefixed(&block_, core);
+  PutLengthPrefixed(&block_, proof_blob);
+  ++current_.num_entries;
+  ++meta_.num_records;
+  if (meta_.smallest.empty() || record.key < meta_.smallest) {
+    meta_.smallest = record.key;
+  }
+  if (record.key > meta_.largest) meta_.largest = record.key;
+  last_key_ = record.key;
+}
+
+std::string SSTableBuilder::Finish(FileMeta* meta) {
+  FlushBlock();
+  meta_.size = contents_.size();
+  *meta = std::move(meta_);
+  meta_ = FileMeta{};
+  last_key_.clear();
+  return std::move(contents_);
+}
+
+Result<std::vector<RawEntry>> ParseBlock(std::string_view block) {
+  std::vector<RawEntry> entries;
+  while (!block.empty()) {
+    std::string_view core;
+    std::string_view proof;
+    if (!GetLengthPrefixed(&block, &core) ||
+        !GetLengthPrefixed(&block, &proof)) {
+      return Status::Corruption("bad sstable block framing");
+    }
+    std::string_view core_cursor = core;
+    auto record = Record::DecodeCore(&core_cursor);
+    if (!record.ok()) return record.status();
+    RawEntry entry;
+    entry.record = std::move(record).value();
+    entry.core.assign(core);
+    entry.proof_blob.assign(proof);
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Status VerifyBlockMac(std::string_view block, std::string_view mac_key,
+                      const crypto::Hash256& expected) {
+  if (!crypto::TagEqual(crypto::HmacSha256(mac_key, block), expected)) {
+    return Status::AuthFailure("sstable block MAC mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace elsm::lsm

@@ -1,0 +1,62 @@
+// SSTable: a sequence of ~4 KiB data blocks. Each entry is a canonical
+// record encoding followed by a length-prefixed embedded-proof blob
+// (paper §5.2: records stored as <k, v ‖ π>). The block index lives in
+// FileMeta (enclave metadata), never in the file, so there is no footer.
+//
+// A key group (all versions of one data key) never straddles a block or
+// file boundary — the read path depends on a group's newest record being
+// the first entry of its group within a single block.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "lsm/record.h"
+#include "lsm/version.h"
+
+namespace elsm::lsm {
+
+// One decoded SSTable entry. `core` preserves the exact bytes that hash
+// chains digest, so verification never depends on re-encoding.
+struct RawEntry {
+  Record record;
+  std::string core;
+  std::string proof_blob;
+};
+
+class SSTableBuilder {
+ public:
+  // When `mac_key` is non-empty each finished block gets an HMAC tag in its
+  // BlockHandle (eLSM-P1 file-granularity protection).
+  SSTableBuilder(uint64_t block_bytes, std::string mac_key = "");
+
+  void Add(const Record& record, std::string_view proof_blob);
+  // Returns the file image and fills `meta` (name left empty).
+  std::string Finish(FileMeta* meta);
+
+  uint64_t pending_bytes() const {
+    return uint64_t(contents_.size() + block_.size());
+  }
+
+ private:
+  void FlushBlock();
+
+  uint64_t block_bytes_;
+  std::string mac_key_;
+  std::string contents_;
+  std::string block_;
+  FileMeta meta_;
+  BlockHandle current_;
+  std::string last_key_;
+};
+
+// Decodes every entry of a block image.
+Result<std::vector<RawEntry>> ParseBlock(std::string_view block);
+
+// Recomputes and checks the HMAC for a block image (P1 read path).
+Status VerifyBlockMac(std::string_view block, std::string_view mac_key,
+                      const crypto::Hash256& expected);
+
+}  // namespace elsm::lsm

@@ -1,0 +1,133 @@
+#include "lsm/version.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace elsm::lsm {
+namespace {
+
+void PutHash(std::string* dst, const crypto::Hash256& h) {
+  dst->append(reinterpret_cast<const char*>(h.data()), h.size());
+}
+
+bool GetHash(std::string_view* input, crypto::Hash256* h) {
+  if (input->size() < 32) return false;
+  std::memcpy(h->data(), input->data(), 32);
+  input->remove_prefix(32);
+  return true;
+}
+
+}  // namespace
+
+uint64_t LevelMeta::MetadataBytes() const {
+  uint64_t total = bloom.byte_size();
+  for (const FileMeta& f : files) {
+    total += f.name.size() + f.smallest.size() + f.largest.size() + 32;
+    for (const BlockHandle& b : f.blocks) {
+      total += b.first_key.size() + 16 + 32;
+    }
+  }
+  return total;
+}
+
+std::string LevelMeta::Encode() const {
+  std::string out;
+  PutVarint64(&out, num_records);
+  PutVarint64(&out, bytes);
+  PutLengthPrefixed(&out, bloom.Encode());
+  PutHash(&out, root);
+  PutVarint64(&out, leaf_count);
+  PutLengthPrefixed(&out, tree_file);
+  PutVarint32(&out, static_cast<uint32_t>(files.size()));
+  for (const FileMeta& f : files) {
+    PutLengthPrefixed(&out, f.name);
+    PutLengthPrefixed(&out, f.smallest);
+    PutLengthPrefixed(&out, f.largest);
+    PutVarint64(&out, f.size);
+    PutVarint64(&out, f.num_records);
+    PutVarint32(&out, static_cast<uint32_t>(f.blocks.size()));
+    for (const BlockHandle& b : f.blocks) {
+      PutVarint64(&out, b.offset);
+      PutVarint64(&out, b.size);
+      PutVarint32(&out, b.num_entries);
+      PutLengthPrefixed(&out, b.first_key);
+      PutHash(&out, b.mac);
+    }
+  }
+  return out;
+}
+
+Result<LevelMeta> LevelMeta::Decode(std::string_view* input) {
+  LevelMeta level;
+  std::string_view bloom_bytes;
+  std::string_view tree_file;
+  uint32_t file_count = 0;
+  if (!GetVarint64(input, &level.num_records) ||
+      !GetVarint64(input, &level.bytes) ||
+      !GetLengthPrefixed(input, &bloom_bytes) ||
+      !GetHash(input, &level.root) ||
+      !GetVarint64(input, &level.leaf_count) ||
+      !GetLengthPrefixed(input, &tree_file) ||
+      !GetVarint32(input, &file_count)) {
+    return Status::Corruption("bad level meta");
+  }
+  level.bloom = BloomFilter::Decode(bloom_bytes);
+  level.tree_file.assign(tree_file);
+  level.files.resize(file_count);
+  for (FileMeta& f : level.files) {
+    std::string_view name, smallest, largest;
+    uint32_t block_count = 0;
+    if (!GetLengthPrefixed(input, &name) ||
+        !GetLengthPrefixed(input, &smallest) ||
+        !GetLengthPrefixed(input, &largest) || !GetVarint64(input, &f.size) ||
+        !GetVarint64(input, &f.num_records) ||
+        !GetVarint32(input, &block_count)) {
+      return Status::Corruption("bad file meta");
+    }
+    f.name.assign(name);
+    f.smallest.assign(smallest);
+    f.largest.assign(largest);
+    f.blocks.resize(block_count);
+    for (BlockHandle& b : f.blocks) {
+      std::string_view first_key;
+      if (!GetVarint64(input, &b.offset) || !GetVarint64(input, &b.size) ||
+          !GetVarint32(input, &b.num_entries) ||
+          !GetLengthPrefixed(input, &first_key) || !GetHash(input, &b.mac)) {
+        return Status::Corruption("bad block handle");
+      }
+      b.first_key.assign(first_key);
+    }
+  }
+  return level;
+}
+
+std::string EncodeLevels(const std::vector<LevelMeta>& levels) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(levels.size()));
+  for (const LevelMeta& level : levels) {
+    PutLengthPrefixed(&out, level.Encode());
+  }
+  return out;
+}
+
+Result<std::vector<LevelMeta>> DecodeLevels(std::string_view input) {
+  uint32_t count = 0;
+  if (!GetVarint32(&input, &count)) {
+    return Status::Corruption("bad levels encoding");
+  }
+  std::vector<LevelMeta> levels;
+  levels.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view payload;
+    if (!GetLengthPrefixed(&input, &payload)) {
+      return Status::Corruption("bad levels encoding");
+    }
+    auto level = LevelMeta::Decode(&payload);
+    if (!level.ok()) return level.status();
+    levels.push_back(std::move(level).value());
+  }
+  return levels;
+}
+
+}  // namespace elsm::lsm

@@ -1,0 +1,61 @@
+// Level / file metadata — the enclave-resident index structures (paper
+// Fig. 1: "Index" inside the enclave; §4.2: metadata grows sublinearly and
+// fits the EPC).
+//
+// The engine treats the auth fields (root, leaf_count, tree_file) as opaque
+// seal data installed by a CompactionListener; the vanilla engine leaves
+// them empty. This is what keeps authentication an add-on (§5.5.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/sha256.h"
+#include "lsm/bloom.h"
+
+namespace elsm::lsm {
+
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint32_t num_entries = 0;
+  std::string first_key;
+  // Per-block MAC (eLSM-P1 file-granularity protection; unused in P2).
+  crypto::Hash256 mac = crypto::kZeroHash;
+};
+
+struct FileMeta {
+  std::string name;
+  std::string smallest;
+  std::string largest;
+  uint64_t size = 0;
+  uint64_t num_records = 0;
+  std::vector<BlockHandle> blocks;
+};
+
+struct LevelMeta {
+  std::vector<FileMeta> files;
+  uint64_t num_records = 0;
+  uint64_t bytes = 0;
+  BloomFilter bloom;
+
+  // --- authentication seal (opaque to the engine) ---
+  crypto::Hash256 root = crypto::kZeroHash;
+  uint64_t leaf_count = 0;      // distinct keys in the level
+  std::string tree_file;        // untrusted Merkle-node sidecar
+
+  // Approximate enclave-metadata footprint of this level (indexes+bloom).
+  uint64_t MetadataBytes() const;
+
+  std::string Encode() const;
+  static Result<LevelMeta> Decode(std::string_view* input);
+};
+
+// Serialize/restore the whole level stack (the manifest payload; the elsm
+// facade seals it and binds it to the monotonic counter).
+std::string EncodeLevels(const std::vector<LevelMeta>& levels);
+Result<std::vector<LevelMeta>> DecodeLevels(std::string_view input);
+
+}  // namespace elsm::lsm

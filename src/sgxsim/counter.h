@@ -1,0 +1,23 @@
+// Trusted monotonic counter (paper §5.6.1 rollback defence).
+//
+// Models a TPM / SGX-SDK monotonic counter: the value survives "power
+// cycles" (DB close/reopen) because it lives in a TrustedPlatform object
+// owned by the test/bench harness, independent of the untrusted storage the
+// adversary may roll back. Bumps are expensive (counter_bump_ns) and in eLSM
+// are buffered/periodic.
+#pragma once
+
+#include <cstdint>
+
+namespace elsm::sgx {
+
+class MonotonicCounter {
+ public:
+  uint64_t Read() const { return value_; }
+  uint64_t Increment() { return ++value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+}  // namespace elsm::sgx

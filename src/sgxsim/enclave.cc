@@ -1,0 +1,116 @@
+#include "sgxsim/enclave.h"
+
+namespace elsm::sgx {
+
+Enclave::Enclave(CostModel model, bool enabled)
+    : model_(model),
+      enabled_(enabled),
+      epc_(model.epc_bytes, model.page_size) {}
+
+void Enclave::ChargeEcall() {
+  if (!enabled_) return;
+  counters_.ecalls.fetch_add(1, std::memory_order_relaxed);
+  Advance(model_.ecall_ns);
+}
+
+void Enclave::ChargeOcall() {
+  if (!enabled_) return;
+  counters_.ocalls.fetch_add(1, std::memory_order_relaxed);
+  Advance(model_.ocall_ns);
+}
+
+RegionId Enclave::RegisterRegion(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(epc_mu_);
+  return epc_.Register(bytes);
+}
+
+void Enclave::ResizeRegion(RegionId region, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(epc_mu_);
+  epc_.Resize(region, bytes);
+}
+
+void Enclave::FreeRegion(RegionId region) {
+  std::lock_guard<std::mutex> lock(epc_mu_);
+  epc_.Free(region);
+}
+
+void Enclave::AccessRegion(RegionId region, uint64_t offset, uint64_t len,
+                           bool software_paging) {
+  if (!enabled_) {
+    UntrustedRead(len);
+    return;
+  }
+  uint64_t faults = 0;
+  {
+    std::lock_guard<std::mutex> lock(epc_mu_);
+    faults = epc_.Access(region, offset, len);
+  }
+  if (faults > 0) {
+    counters_.epc_faults.fetch_add(faults, std::memory_order_relaxed);
+    Advance(faults *
+            (software_paging ? model_.sw_fault_ns : model_.epc_fault_ns));
+  }
+  Advance(len * model_.enclave_read_pb / 1000);
+}
+
+void Enclave::UntrustedRead(uint64_t bytes) {
+  Advance(bytes * model_.untrusted_read_pb / 1000);
+}
+
+void Enclave::Copy(uint64_t bytes, bool cross_boundary) {
+  counters_.bytes_copied.fetch_add(bytes, std::memory_order_relaxed);
+  // Crossing the boundary is only special when the enclave is real.
+  Advance(model_.CopyCost(bytes, cross_boundary && enabled_));
+}
+
+void Enclave::ChargeHash(uint64_t bytes) {
+  counters_.bytes_hashed.fetch_add(bytes, std::memory_order_relaxed);
+  Advance(model_.HashCost(bytes));
+}
+
+void Enclave::ChargeCipher(uint64_t bytes) {
+  counters_.bytes_ciphered.fetch_add(bytes, std::memory_order_relaxed);
+  Advance(model_.CipherCost(bytes));
+}
+
+void Enclave::ChargeFileRead(uint64_t bytes) {
+  counters_.file_bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+  Advance(model_.file_read_req_ns + bytes * model_.file_read_pb / 1000);
+}
+
+void Enclave::ChargeFileWrite(uint64_t bytes) {
+  counters_.file_bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  Advance(model_.file_write_req_ns + bytes * model_.file_write_pb / 1000);
+}
+
+void Enclave::ChargeWalAppend(uint64_t bytes) {
+  counters_.wal_appends.fetch_add(1, std::memory_order_relaxed);
+  Advance(model_.wal_append_ns + bytes * model_.file_write_pb / 1000);
+}
+
+void Enclave::ChargeMmapSetup() { Advance(model_.mmap_setup_ns); }
+
+void Enclave::ChargeCounterBump() { Advance(model_.counter_bump_ns); }
+
+void Enclave::Advance(uint64_t ns) {
+  clock_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+EnclaveCounters Enclave::counters() const {
+  EnclaveCounters out;
+  out.ecalls = counters_.ecalls.load(std::memory_order_relaxed);
+  out.ocalls = counters_.ocalls.load(std::memory_order_relaxed);
+  out.epc_faults = counters_.epc_faults.load(std::memory_order_relaxed);
+  out.bytes_hashed = counters_.bytes_hashed.load(std::memory_order_relaxed);
+  out.bytes_ciphered =
+      counters_.bytes_ciphered.load(std::memory_order_relaxed);
+  out.bytes_copied = counters_.bytes_copied.load(std::memory_order_relaxed);
+  out.file_bytes_read =
+      counters_.file_bytes_read.load(std::memory_order_relaxed);
+  out.file_bytes_written =
+      counters_.file_bytes_written.load(std::memory_order_relaxed);
+  out.wal_appends = counters_.wal_appends.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace elsm::sgx

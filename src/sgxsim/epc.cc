@@ -1,0 +1,63 @@
+#include "sgxsim/epc.h"
+
+namespace elsm::sgx {
+
+EpcSimulator::EpcSimulator(uint64_t epc_bytes, uint64_t page_size)
+    : page_size_(page_size == 0 ? 4096 : page_size),
+      capacity_pages_(epc_bytes / page_size_) {
+  if (capacity_pages_ == 0) capacity_pages_ = 1;
+}
+
+RegionId EpcSimulator::Register(uint64_t bytes) {
+  const RegionId id = next_region_++;
+  region_bytes_[id] = bytes;
+  return id;
+}
+
+void EpcSimulator::Resize(RegionId region, uint64_t bytes) {
+  region_bytes_[region] = bytes;
+}
+
+void EpcSimulator::Free(RegionId region) {
+  region_bytes_.erase(region);
+  // Drop this region's resident pages so they stop occupying EPC.
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if ((*it >> 40) == region) {
+      table_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void EpcSimulator::TouchPage(PageKey key, uint64_t* faults) {
+  ++stats_.accesses;
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  ++stats_.faults;
+  ++*faults;
+  if (lru_.size() >= capacity_pages_) {
+    table_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  table_[key] = lru_.begin();
+}
+
+uint64_t EpcSimulator::Access(RegionId region, uint64_t offset, uint64_t len) {
+  if (len == 0) len = 1;
+  const uint64_t first = offset / page_size_;
+  const uint64_t last = (offset + len - 1) / page_size_;
+  uint64_t faults = 0;
+  for (uint64_t page = first; page <= last; ++page) {
+    TouchPage(Key(region, page), &faults);
+  }
+  return faults;
+}
+
+}  // namespace elsm::sgx

@@ -1,0 +1,62 @@
+// Page-granular EPC (Enclave Page Cache) simulator.
+//
+// Enclave-resident memory regions register here; every access walks the
+// touched 4 KiB pages through an LRU page table bounded by the EPC budget.
+// A miss is an enclave page fault (the dominant cost in eLSM-P1 once the
+// in-enclave read buffer outgrows the EPC, Fig. 2 / Fig. 6).
+//
+// Regions model *enclave virtual memory*: they can be far larger than the
+// EPC; only residency is bounded.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace elsm::sgx {
+
+using RegionId = uint32_t;
+
+struct EpcStats {
+  uint64_t accesses = 0;
+  uint64_t faults = 0;
+  uint64_t evictions = 0;
+};
+
+class EpcSimulator {
+ public:
+  EpcSimulator(uint64_t epc_bytes, uint64_t page_size);
+
+  // Registers an enclave memory region of `bytes` virtual size; returns its
+  // id. Pages are faulted in lazily on first access.
+  RegionId Register(uint64_t bytes);
+  void Resize(RegionId region, uint64_t bytes);
+  void Free(RegionId region);
+
+  // Touches [offset, offset+len) of the region; returns the number of page
+  // faults incurred (0 when all pages are resident).
+  uint64_t Access(RegionId region, uint64_t offset, uint64_t len);
+
+  const EpcStats& stats() const { return stats_; }
+  uint64_t resident_pages() const { return lru_.size(); }
+  uint64_t capacity_pages() const { return capacity_pages_; }
+
+ private:
+  using PageKey = uint64_t;  // (region << 40) | page_number
+  static PageKey Key(RegionId region, uint64_t page) {
+    return (uint64_t(region) << 40) | page;
+  }
+
+  void TouchPage(PageKey key, uint64_t* faults);
+
+  uint64_t page_size_;
+  uint64_t capacity_pages_;
+  RegionId next_region_ = 1;
+  std::unordered_map<RegionId, uint64_t> region_bytes_;
+  // LRU: front = most recent. Map points into the list for O(1) updates.
+  std::list<PageKey> lru_;
+  std::unordered_map<PageKey, std::list<PageKey>::iterator> table_;
+  EpcStats stats_;
+};
+
+}  // namespace elsm::sgx

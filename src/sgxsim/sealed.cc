@@ -1,0 +1,31 @@
+#include "sgxsim/sealed.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace elsm::sgx {
+
+std::string Seal(std::string_view sealing_key, std::string_view payload) {
+  const crypto::Hash256 tag = crypto::HmacSha256(sealing_key, payload);
+  std::string out(payload);
+  out.append(reinterpret_cast<const char*>(tag.data()), tag.size());
+  return out;
+}
+
+Result<std::string> Unseal(std::string_view sealing_key,
+                           std::string_view sealed_blob) {
+  if (sealed_blob.size() < 32) {
+    return Status::Corruption("sealed blob shorter than tag");
+  }
+  const std::string_view payload =
+      sealed_blob.substr(0, sealed_blob.size() - 32);
+  crypto::Hash256 tag;
+  std::memcpy(tag.data(), sealed_blob.data() + payload.size(), 32);
+  if (!crypto::TagEqual(tag, crypto::HmacSha256(sealing_key, payload))) {
+    return Status::AuthFailure("sealed blob MAC mismatch");
+  }
+  return std::string(payload);
+}
+
+}  // namespace elsm::sgx

@@ -1,0 +1,20 @@
+// Sealed storage: enclave-keyed authenticated blobs (SGX sealing analogue).
+//
+// Seal(key, payload) = payload || HMAC(key, payload). Unseal authenticates
+// and strips the tag. eLSM seals its manifest (level roots + WAL digest +
+// counter value) so that a restart can detect tampering and, combined with
+// the monotonic counter, rollbacks.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace elsm::sgx {
+
+std::string Seal(std::string_view sealing_key, std::string_view payload);
+Result<std::string> Unseal(std::string_view sealing_key,
+                           std::string_view sealed_blob);
+
+}  // namespace elsm::sgx

@@ -1,0 +1,22 @@
+#include "storage/mmap.h"
+
+namespace elsm::storage {
+
+Result<MmapRegion> MmapRegion::Open(SimFs& fs, const std::string& name) {
+  auto blob = fs.Blob(name);
+  if (blob == nullptr) return Status::IOError("no such file: " + name);
+  sgx::Enclave& enclave = fs.enclave();
+  enclave.ChargeOcall();  // mmap(2) is a syscall: one world switch at open
+  enclave.ChargeMmapSetup();
+  return MmapRegion(std::move(blob), &enclave);
+}
+
+Result<std::string_view> MmapRegion::Read(uint64_t offset,
+                                          uint64_t len) const {
+  if (offset > data_->size()) return Status::IOError("mmap read past EOF");
+  const uint64_t n = std::min<uint64_t>(len, data_->size() - offset);
+  enclave_->UntrustedRead(n);
+  return std::string_view(*data_).substr(offset, n);
+}
+
+}  // namespace elsm::storage

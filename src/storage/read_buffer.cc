@@ -1,0 +1,106 @@
+#include "storage/read_buffer.h"
+
+namespace elsm::storage {
+namespace {
+
+std::string CacheKey(const std::string& file, uint64_t offset) {
+  return file + "#" + std::to_string(offset);
+}
+
+}  // namespace
+
+ReadBuffer::ReadBuffer(std::shared_ptr<sgx::Enclave> enclave,
+                       uint64_t capacity_bytes, BufferPlacement placement)
+    : enclave_(std::move(enclave)),
+      capacity_(capacity_bytes == 0 ? 1 : capacity_bytes),
+      placement_(placement) {
+  if (placement_ == BufferPlacement::kInsideEnclave) {
+    region_ = enclave_->RegisterRegion(capacity_);
+  }
+}
+
+ReadBuffer::~ReadBuffer() {
+  if (region_ != 0) enclave_->FreeRegion(region_);
+}
+
+void ReadBuffer::EvictLocked(uint64_t need_bytes) {
+  while (bytes_used_ + need_bytes > capacity_ && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    if (it != entries_.end()) {
+      bytes_used_ -= it->second.block->size();
+      entries_.erase(it);
+      ++stats_.evictions;
+    }
+  }
+}
+
+Result<std::shared_ptr<const std::string>> ReadBuffer::Get(
+    const std::string& file, uint64_t offset,
+    const std::function<Result<std::string>()>& loader) {
+  const std::string key = CacheKey(file, offset);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      const auto& entry = it->second;
+      if (placement_ == BufferPlacement::kInsideEnclave) {
+        enclave_->AccessRegion(region_, entry.region_offset,
+                               entry.block->size());
+      } else {
+        enclave_->UntrustedRead(entry.block->size());
+      }
+      return entry.block;
+    }
+  }
+
+  // Miss: the loader reads from the (untrusted-world) filesystem. The file
+  // read is a syscall, so enclave code pays a world switch wherever the
+  // buffer lives; inside placement additionally pays the boundary copy.
+  ++stats_.misses;
+  enclave_->ChargeOcall();
+  auto loaded = loader();
+  if (!loaded.ok()) return loaded.status();
+  auto block = std::make_shared<const std::string>(std::move(loaded).value());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  EvictLocked(block->size());
+  Entry entry;
+  entry.block = block;
+  if (placement_ == BufferPlacement::kInsideEnclave) {
+    if (ring_cursor_ + block->size() > capacity_) ring_cursor_ = 0;
+    entry.region_offset = ring_cursor_;
+    ring_cursor_ += block->size();
+    enclave_->Copy(block->size(), /*cross_boundary=*/true);
+    enclave_->AccessRegion(region_, entry.region_offset, block->size());
+  } else {
+    enclave_->Copy(block->size(), /*cross_boundary=*/false);
+    enclave_->UntrustedRead(block->size());
+  }
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+  bytes_used_ += block->size();
+  entries_[key] = std::move(entry);
+  return std::shared_ptr<const std::string>(block);
+}
+
+void ReadBuffer::Invalidate(const std::string& file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const bool match = it->first.compare(0, file.size(), file) == 0 &&
+                       it->first.size() > file.size() &&
+                       it->first[file.size()] == '#';
+    if (match) {
+      bytes_used_ -= it->second.block->size();
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace elsm::storage

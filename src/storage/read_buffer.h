@@ -1,0 +1,82 @@
+// User-space read buffer (block cache) with LRU eviction.
+//
+// This is the structure whose *placement* the paper studies (Fig. 2, 6c, 8):
+//  * placement == kOutsideEnclave — eLSM-P2 / unsecured: hits are plain
+//    untrusted-memory reads; misses load from SimFs.
+//  * placement == kInsideEnclave — eLSM-P1: the buffer occupies an enclave
+//    region registered with the EPC simulator. Hits touch EPC pages (page
+//    faults once capacity > EPC, the Fig. 2 cliff); misses additionally pay
+//    an OCall (file read is a syscall) and a cross-boundary copy.
+//
+// Cached blocks get stable byte offsets inside the region from a ring
+// allocator, so the EPC page-table sees a realistic address stream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "sgxsim/enclave.h"
+#include "storage/simfs.h"
+
+namespace elsm::storage {
+
+enum class BufferPlacement { kOutsideEnclave, kInsideEnclave };
+
+struct ReadBufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+class ReadBuffer {
+ public:
+  ReadBuffer(std::shared_ptr<sgx::Enclave> enclave, uint64_t capacity_bytes,
+             BufferPlacement placement);
+  ~ReadBuffer();
+
+  ReadBuffer(const ReadBuffer&) = delete;
+  ReadBuffer& operator=(const ReadBuffer&) = delete;
+
+  // Returns the cached block for (file, offset), invoking `loader` on a
+  // miss to fetch the bytes (the loader runs "in the untrusted world";
+  // world-switch charging happens here, not in the loader).
+  Result<std::shared_ptr<const std::string>> Get(
+      const std::string& file, uint64_t offset,
+      const std::function<Result<std::string>()>& loader);
+
+  // Drops every cached block of `file` (called when compaction deletes it).
+  void Invalidate(const std::string& file);
+
+  const ReadBufferStats& stats() const { return stats_; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t bytes_used() const { return bytes_used_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const std::string> block;
+    uint64_t region_offset = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void EvictLocked(uint64_t need_bytes);
+
+  std::shared_ptr<sgx::Enclave> enclave_;
+  uint64_t capacity_;
+  BufferPlacement placement_;
+  sgx::RegionId region_ = 0;
+
+  std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;  // key = file "#" offset
+  std::list<std::string> lru_;                      // front = most recent
+  uint64_t bytes_used_ = 0;
+  uint64_t ring_cursor_ = 0;
+  ReadBufferStats stats_;
+};
+
+}  // namespace elsm::storage

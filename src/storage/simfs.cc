@@ -1,0 +1,95 @@
+#include "storage/simfs.h"
+
+namespace elsm::storage {
+
+Status SimFs::Write(const std::string& name, std::string contents) {
+  enclave_->ChargeFileWrite(contents.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[name] = std::make_shared<std::string>(std::move(contents));
+  return Status::Ok();
+}
+
+Status SimFs::Append(const std::string& name, std::string_view data) {
+  enclave_->ChargeWalAppend(data.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    it = files_.emplace(name, std::make_shared<std::string>()).first;
+  }
+  // Copy-on-write so outstanding Blob() handles stay stable.
+  auto updated = std::make_shared<std::string>(*it->second);
+  updated->append(data.data(), data.size());
+  it->second = std::move(updated);
+  return Status::Ok();
+}
+
+Result<std::string> SimFs::Read(const std::string& name, uint64_t offset,
+                                uint64_t len) const {
+  std::shared_ptr<const std::string> blob;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(name);
+    if (it == files_.end()) return Status::IOError("no such file: " + name);
+    blob = it->second;
+  }
+  if (offset > blob->size()) return Status::IOError("read past EOF: " + name);
+  const uint64_t n = std::min<uint64_t>(len, blob->size() - offset);
+  enclave_->ChargeFileRead(n);
+  return blob->substr(offset, n);
+}
+
+Result<std::string> SimFs::ReadAll(const std::string& name) const {
+  auto size = FileSize(name);
+  if (!size.ok()) return size.status();
+  return Read(name, 0, size.value());
+}
+
+Result<uint64_t> SimFs::FileSize(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::IOError("no such file: " + name);
+  return uint64_t(it->second->size());
+}
+
+Status SimFs::Delete(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.erase(name) > 0 ? Status::Ok()
+                                : Status::IOError("no such file: " + name);
+}
+
+Status SimFs::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::IOError("no such file: " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(from);
+  return Status::Ok();
+}
+
+bool SimFs::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(name) > 0;
+}
+
+std::vector<std::string> SimFs::List(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, blob] : files_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+std::shared_ptr<const std::string> SimFs::Blob(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<std::string> SimFs::MutableBlob(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+}  // namespace elsm::storage

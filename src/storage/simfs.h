@@ -1,0 +1,65 @@
+// In-memory simulated filesystem (DESIGN.md §2: the paper's evaluation is
+// memory-resident, so "disk" behaves like the OS page cache).
+//
+// Files are immutable-after-write blobs except for Append (WAL). Costs are
+// charged on the owning Enclave: reads charge file_read_*, whole-file writes
+// charge file_write_*, appends charge wal_append_*.
+//
+// Blobs are handed out as shared_ptr so MmapRegion keeps content alive past
+// Delete (real mmap-after-unlink semantics). MutableBlob exists for the
+// adversary harness: a malicious host tampering with on-disk bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sgxsim/enclave.h"
+
+namespace elsm::storage {
+
+class SimFs {
+ public:
+  explicit SimFs(std::shared_ptr<sgx::Enclave> enclave)
+      : enclave_(std::move(enclave)) {}
+
+  // Creates or replaces `name` with `contents`.
+  Status Write(const std::string& name, std::string contents);
+  // Appends to `name`, creating it if missing (WAL-style framing is the
+  // caller's concern).
+  Status Append(const std::string& name, std::string_view data);
+
+  Result<std::string> Read(const std::string& name, uint64_t offset,
+                           uint64_t len) const;
+  Result<std::string> ReadAll(const std::string& name) const;
+  Result<uint64_t> FileSize(const std::string& name) const;
+
+  Status Delete(const std::string& name);
+  Status Rename(const std::string& from, const std::string& to);
+  bool Exists(const std::string& name) const;
+  std::vector<std::string> List(std::string_view prefix) const;
+
+  // Zero-copy blob handle for mmap simulation (nullptr if missing).
+  std::shared_ptr<const std::string> Blob(const std::string& name) const;
+  // Adversary access: direct mutation of stored bytes, no cost charged.
+  std::shared_ptr<std::string> MutableBlob(const std::string& name);
+
+  sgx::Enclave& enclave() const { return *enclave_; }
+  // Re-attach the filesystem to a fresh enclave (simulated "reboot": the
+  // disk survives, the enclave instance does not).
+  void set_enclave(std::shared_ptr<sgx::Enclave> enclave) {
+    enclave_ = std::move(enclave);
+  }
+
+ private:
+  std::shared_ptr<sgx::Enclave> enclave_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<std::string>> files_;
+};
+
+}  // namespace elsm::storage

@@ -1,0 +1,60 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "crypto/sha256.h"
+
+namespace elsm::storage {
+namespace {
+
+uint32_t Checksum(std::string_view payload) {
+  const crypto::Hash256 h = crypto::Sha256::Digest(payload);
+  uint32_t c = 0;
+  std::memcpy(&c, h.data(), sizeof(c));
+  return c;
+}
+
+}  // namespace
+
+Status WalWriter::Append(std::string_view payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&frame, Checksum(payload));
+  frame.append(payload.data(), payload.size());
+  return fs_->Append(name_, frame);
+}
+
+Result<WalContents> ReadWal(const SimFs& fs, const std::string& name) {
+  if (!fs.Exists(name)) return WalContents{};
+  auto all = fs.ReadAll(name);
+  if (!all.ok()) return all.status();
+
+  WalContents out;
+  std::string_view input(all.value());
+  const size_t total = input.size();
+  while (!input.empty()) {
+    std::string_view mark = input;
+    uint32_t len = 0;
+    uint32_t cksum = 0;
+    if (!GetFixed32(&input, &len) || !GetFixed32(&input, &cksum) ||
+        input.size() < len) {
+      out.clean = false;
+      input = mark;  // leave unread
+      break;
+    }
+    const std::string_view payload = input.substr(0, len);
+    if (Checksum(payload) != cksum) {
+      out.clean = false;
+      input = mark;
+      break;
+    }
+    out.records.emplace_back(payload);
+    input.remove_prefix(len);
+  }
+  out.valid_bytes = total - input.size();
+  return out;
+}
+
+}  // namespace elsm::storage

@@ -1,0 +1,38 @@
+// Write-ahead log framing on top of SimFs (paper §5.3 write path, w3).
+//
+// Frame: fixed32 payload length || fixed32 checksum (first 4 bytes of
+// SHA-256 over the payload) || payload. The checksum guards against benign
+// torn writes; *authenticity* of the WAL is the job of the in-enclave WAL
+// digest chain (auth/wal_digest.h), not of this framing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/simfs.h"
+
+namespace elsm::storage {
+
+class WalWriter {
+ public:
+  WalWriter(SimFs* fs, std::string name) : fs_(fs), name_(std::move(name)) {}
+
+  Status Append(std::string_view payload);
+  const std::string& name() const { return name_; }
+
+ private:
+  SimFs* fs_;
+  std::string name_;
+};
+
+// Reads every well-formed frame; stops cleanly at the first corrupt or
+// truncated frame (crash semantics) and reports how many bytes were consumed.
+struct WalContents {
+  std::vector<std::string> records;
+  uint64_t valid_bytes = 0;
+  bool clean = true;  // false if trailing garbage was skipped
+};
+Result<WalContents> ReadWal(const SimFs& fs, const std::string& name);
+
+}  // namespace elsm::storage

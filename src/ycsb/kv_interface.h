@@ -1,0 +1,95 @@
+// Minimal store interface the YCSB runner drives, plus adapters for every
+// engine the paper benchmarks (eLSM P1/P2/unsecured, Eleos, Merkle B-tree).
+// Latency is read from the store's *simulated* enclave clock.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "baseline/eleos_store.h"
+#include "baseline/merkle_btree.h"
+#include "common/status.h"
+#include "elsm/elsm_db.h"
+
+namespace elsm::ycsb {
+
+class KvInterface {
+ public:
+  virtual ~KvInterface() = default;
+  virtual Status Put(std::string_view key, std::string_view value) = 0;
+  virtual Result<std::optional<std::string>> Get(std::string_view key) = 0;
+  // Range scan of up to `limit` records starting at `start_key`. Returns the
+  // number of records produced.
+  virtual Result<size_t> Scan(std::string_view start_key,
+                              std::string_view end_key, size_t limit) = 0;
+  // Simulated time (ns) — the latency source for all measurements.
+  virtual uint64_t now_ns() const = 0;
+};
+
+class ElsmKv : public KvInterface {
+ public:
+  explicit ElsmKv(ElsmDb* db) : db_(db) {}
+  Status Put(std::string_view key, std::string_view value) override {
+    return db_->Put(key, value);
+  }
+  Result<std::optional<std::string>> Get(std::string_view key) override {
+    return db_->Get(key);
+  }
+  Result<size_t> Scan(std::string_view start_key, std::string_view end_key,
+                      size_t limit) override {
+    auto records = db_->Scan(start_key, end_key);
+    if (!records.ok()) return records.status();
+    return std::min(records.value().size(), limit);
+  }
+  uint64_t now_ns() const override { return db_->enclave().now_ns(); }
+
+ private:
+  ElsmDb* db_;
+};
+
+class EleosKv : public KvInterface {
+ public:
+  EleosKv(baseline::EleosStore* store, sgx::Enclave* enclave)
+      : store_(store), enclave_(enclave) {}
+  Status Put(std::string_view key, std::string_view value) override {
+    return store_->Put(key, value);
+  }
+  Result<std::optional<std::string>> Get(std::string_view key) override {
+    return store_->Get(key);
+  }
+  Result<size_t> Scan(std::string_view start_key, std::string_view end_key,
+                      size_t limit) override {
+    auto records = store_->Scan(start_key, end_key);
+    if (!records.ok()) return records.status();
+    return std::min(records.value().size(), limit);
+  }
+  uint64_t now_ns() const override { return enclave_->now_ns(); }
+
+ private:
+  baseline::EleosStore* store_;
+  sgx::Enclave* enclave_;
+};
+
+class MerkleBTreeKv : public KvInterface {
+ public:
+  MerkleBTreeKv(baseline::MerkleBTree* tree, sgx::Enclave* enclave)
+      : tree_(tree), enclave_(enclave) {}
+  Status Put(std::string_view key, std::string_view value) override {
+    return tree_->Put(key, value);
+  }
+  Result<std::optional<std::string>> Get(std::string_view key) override {
+    return tree_->Get(key);
+  }
+  Result<size_t> Scan(std::string_view, std::string_view, size_t) override {
+    return Status::NotSupported("merkle btree baseline: point ops only");
+  }
+  uint64_t now_ns() const override { return enclave_->now_ns(); }
+
+ private:
+  baseline::MerkleBTree* tree_;
+  sgx::Enclave* enclave_;
+};
+
+}  // namespace elsm::ycsb

@@ -1,0 +1,92 @@
+#include "ycsb/runner.h"
+
+namespace elsm::ycsb {
+
+YcsbRunner::YcsbRunner(WorkloadSpec spec, uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {}
+
+Status YcsbRunner::Load(KvInterface& kv) {
+  for (uint64_t i = 0; i < spec_.record_count; ++i) {
+    Status s = kv.Put(MakeKey(i, spec_.key_size),
+                      MakeValue(i, spec_.value_size));
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Result<RunStats> YcsbRunner::Run(KvInterface& kv) {
+  KeyChooser chooser(spec_, seed_);
+  RunStats stats;
+  const uint64_t start_ns = kv.now_ns();
+
+  for (uint64_t op = 0; op < spec_.operation_count; ++op) {
+    const OpType type = chooser.NextOp();
+    const uint64_t before = kv.now_ns();
+    Status s = Status::Ok();
+    bool is_write = false;
+    bool is_scan = false;
+
+    switch (type) {
+      case OpType::kRead: {
+        auto got = kv.Get(MakeKey(chooser.NextExisting(), spec_.key_size));
+        s = got.status();
+        if (s.ok() && !got.value().has_value()) ++stats.not_found;
+        break;
+      }
+      case OpType::kUpdate: {
+        const uint64_t index = chooser.NextExisting();
+        s = kv.Put(MakeKey(index, spec_.key_size),
+                   MakeValue(index + op, spec_.value_size));
+        is_write = true;
+        break;
+      }
+      case OpType::kInsert: {
+        const uint64_t index = chooser.NextInsert();
+        s = kv.Put(MakeKey(index, spec_.key_size),
+                   MakeValue(index, spec_.value_size));
+        is_write = true;
+        break;
+      }
+      case OpType::kScan: {
+        const uint64_t index = chooser.NextExisting();
+        const uint64_t len = 1 + (index % spec_.max_scan_len);
+        auto scanned =
+            kv.Scan(MakeKey(index, spec_.key_size),
+                    MakeKey(index + len, spec_.key_size), spec_.max_scan_len);
+        s = scanned.status();
+        is_scan = true;
+        break;
+      }
+      case OpType::kReadModifyWrite: {
+        const uint64_t index = chooser.NextExisting();
+        const std::string key = MakeKey(index, spec_.key_size);
+        auto got = kv.Get(key);
+        s = got.status();
+        if (s.ok()) s = kv.Put(key, MakeValue(index + op, spec_.value_size));
+        is_write = true;
+        break;
+      }
+    }
+
+    if (!s.ok()) {
+      ++stats.failures;
+      if (s.IsCapacityExceeded()) break;  // Eleos hit its scaling cap
+      return s;                           // real failures abort the run
+    }
+    const uint64_t latency = kv.now_ns() - before;
+    stats.overall.Add(latency);
+    if (is_scan) {
+      stats.scans.Add(latency);
+    } else if (is_write) {
+      stats.writes.Add(latency);
+    } else {
+      stats.reads.Add(latency);
+    }
+    ++stats.ops;
+  }
+
+  stats.sim_ns = kv.now_ns() - start_ns;
+  return stats;
+}
+
+}  // namespace elsm::ycsb

@@ -1,0 +1,42 @@
+// YCSB load/run driver over KvInterface, measuring simulated per-op latency
+// (§6.1: "YCSB works in two phases: the load phase ... and the evaluation
+// phase").
+#pragma once
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "ycsb/kv_interface.h"
+#include "ycsb/workload.h"
+
+namespace elsm::ycsb {
+
+struct RunStats {
+  Histogram overall;
+  Histogram reads;
+  Histogram writes;
+  Histogram scans;
+  uint64_t ops = 0;
+  uint64_t not_found = 0;
+  uint64_t failures = 0;  // CapacityExceeded etc. (Eleos scaling cap)
+  uint64_t sim_ns = 0;
+
+  double MeanLatencyUs() const { return overall.Mean() / 1000.0; }
+};
+
+class YcsbRunner {
+ public:
+  explicit YcsbRunner(WorkloadSpec spec, uint64_t seed = 42);
+
+  // Load phase: inserts record_count records (keys 0..n-1, in order).
+  Status Load(KvInterface& kv);
+  // Evaluation phase: operation_count ops drawn from the spec.
+  Result<RunStats> Run(KvInterface& kv);
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  WorkloadSpec spec_;
+  uint64_t seed_;
+};
+
+}  // namespace elsm::ycsb

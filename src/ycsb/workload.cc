@@ -1,0 +1,138 @@
+#include "ycsb/workload.h"
+
+#include <cstdio>
+
+namespace elsm::ycsb {
+
+const char* KeyDistributionName(KeyDistribution d) {
+  switch (d) {
+    case KeyDistribution::kUniform:
+      return "Uniform";
+    case KeyDistribution::kZipfian:
+      return "Zipfian";
+    case KeyDistribution::kLatest:
+      return "Latest";
+  }
+  return "?";
+}
+
+WorkloadSpec WorkloadSpec::A() {
+  WorkloadSpec w;
+  w.name = "A";
+  w.read_proportion = 0.5;
+  w.update_proportion = 0.5;
+  w.distribution = KeyDistribution::kZipfian;
+  return w;
+}
+
+WorkloadSpec WorkloadSpec::B() {
+  WorkloadSpec w;
+  w.name = "B";
+  w.read_proportion = 0.95;
+  w.update_proportion = 0.05;
+  w.distribution = KeyDistribution::kZipfian;
+  return w;
+}
+
+WorkloadSpec WorkloadSpec::C() {
+  WorkloadSpec w;
+  w.name = "C";
+  w.read_proportion = 1.0;
+  w.distribution = KeyDistribution::kZipfian;
+  return w;
+}
+
+WorkloadSpec WorkloadSpec::D() {
+  WorkloadSpec w;
+  w.name = "D";
+  w.read_proportion = 0.95;
+  w.insert_proportion = 0.05;
+  w.distribution = KeyDistribution::kLatest;
+  return w;
+}
+
+WorkloadSpec WorkloadSpec::E() {
+  WorkloadSpec w;
+  w.name = "E";
+  w.scan_proportion = 0.95;
+  w.insert_proportion = 0.05;
+  w.distribution = KeyDistribution::kZipfian;
+  w.max_scan_len = 100;
+  return w;
+}
+
+WorkloadSpec WorkloadSpec::F() {
+  WorkloadSpec w;
+  w.name = "F";
+  w.read_proportion = 0.5;
+  w.rmw_proportion = 0.5;
+  w.distribution = KeyDistribution::kZipfian;
+  return w;
+}
+
+WorkloadSpec WorkloadSpec::ReadWriteMix(double read_pct, KeyDistribution d) {
+  WorkloadSpec w;
+  w.name = "mix" + std::to_string(int(read_pct));
+  w.read_proportion = read_pct / 100.0;
+  w.update_proportion = 1.0 - read_pct / 100.0;
+  w.distribution = d;
+  return w;
+}
+
+std::string MakeKey(uint64_t index, size_t key_size) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "u%015llu",
+                              static_cast<unsigned long long>(index));
+  std::string key(buf, size_t(n));
+  if (key.size() < key_size) key.append(key_size - key.size(), 'k');
+  return key;
+}
+
+std::string MakeValue(uint64_t index, size_t value_size) {
+  std::string value;
+  value.reserve(value_size);
+  uint64_t state = index * 0x9e3779b97f4a7c15ull + 1;
+  while (value.size() < value_size) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    value.push_back(char('a' + (state % 26)));
+  }
+  return value;
+}
+
+KeyChooser::KeyChooser(const WorkloadSpec& spec, uint64_t seed)
+    : spec_(spec),
+      rng_(seed),
+      count_(spec.record_count == 0 ? 1 : spec.record_count),
+      zipf_(count_),
+      latest_(count_) {}
+
+uint64_t KeyChooser::NextExisting() {
+  switch (spec_.distribution) {
+    case KeyDistribution::kUniform:
+      return rng_.Uniform(count_);
+    case KeyDistribution::kZipfian:
+      return zipf_.Next(rng_);
+    case KeyDistribution::kLatest:
+      return latest_.Next(rng_);
+  }
+  return 0;
+}
+
+uint64_t KeyChooser::NextInsert() {
+  const uint64_t index = count_++;
+  latest_.AdvanceTo(count_);
+  return index;
+}
+
+OpType KeyChooser::NextOp() {
+  double p = rng_.NextDouble();
+  if ((p -= spec_.read_proportion) < 0) return OpType::kRead;
+  if ((p -= spec_.update_proportion) < 0) return OpType::kUpdate;
+  if ((p -= spec_.insert_proportion) < 0) return OpType::kInsert;
+  if ((p -= spec_.scan_proportion) < 0) return OpType::kScan;
+  return OpType::kReadModifyWrite;
+}
+
+}  // namespace elsm::ycsb

@@ -1,0 +1,70 @@
+// YCSB workload specifications (Cooper et al., SoCC'10) — the benchmark
+// framework the paper evaluates with (§6.1). Core workloads A–F plus the
+// parameterized read/write mixes and key distributions of Figures 5a/5c.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+
+namespace elsm::ycsb {
+
+enum class OpType { kRead, kUpdate, kInsert, kScan, kReadModifyWrite };
+
+enum class KeyDistribution { kUniform, kZipfian, kLatest };
+
+const char* KeyDistributionName(KeyDistribution d);
+
+struct WorkloadSpec {
+  double read_proportion = 0;
+  double update_proportion = 0;
+  double insert_proportion = 0;
+  double scan_proportion = 0;
+  double rmw_proportion = 0;
+  KeyDistribution distribution = KeyDistribution::kZipfian;
+  uint64_t record_count = 10'000;
+  uint64_t operation_count = 10'000;
+  size_t key_size = 16;    // paper: 16-byte keys
+  size_t value_size = 100; // paper: 100-byte values
+  uint32_t max_scan_len = 100;
+  std::string name = "custom";
+
+  // --- the six YCSB core workloads -----------------------------------------
+  static WorkloadSpec A();  // 50/50 read/update, zipfian
+  static WorkloadSpec B();  // 95/5 read/update, zipfian
+  static WorkloadSpec C();  // read-only, zipfian
+  static WorkloadSpec D();  // 95/5 read/insert, latest
+  static WorkloadSpec E();  // 95/5 scan/insert, zipfian
+  static WorkloadSpec F();  // 50/50 read/read-modify-write, zipfian
+  // Fig. 5a style mix: `read_pct` % reads, rest updates.
+  static WorkloadSpec ReadWriteMix(double read_pct,
+                                   KeyDistribution d = KeyDistribution::kUniform);
+};
+
+// Key/value generation shared by the runner and the benches. Keys are
+// "u" + zero-padded decimal of the (optionally scrambled) record index,
+// padded to spec.key_size.
+std::string MakeKey(uint64_t index, size_t key_size);
+std::string MakeValue(uint64_t index, size_t value_size);
+
+// Draws record indices according to the spec's distribution. Inserts extend
+// the keyspace; Latest re-targets recency after every insert.
+class KeyChooser {
+ public:
+  KeyChooser(const WorkloadSpec& spec, uint64_t seed);
+
+  uint64_t NextExisting();   // index in [0, record_count)
+  uint64_t NextInsert();     // fresh index (grows the keyspace)
+  uint64_t record_count() const { return count_; }
+  OpType NextOp();
+
+ private:
+  WorkloadSpec spec_;
+  Rng rng_;
+  uint64_t count_;
+  ScrambledZipfianGenerator zipf_;
+  LatestGenerator latest_;
+};
+
+}  // namespace elsm::ycsb

@@ -1,0 +1,193 @@
+// Unit tests for the common substrate: varint/fixed coding (round trips and
+// malformed-input rejection), Status/Result semantics, Rng determinism and
+// histogram accounting.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/coding.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace elsm {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 0xffu, 0x12345678u, 0xffffffffu}) {
+    std::string buf;
+    PutFixed32(&buf, v);
+    EXPECT_EQ(buf.size(), 4u);
+    std::string_view cursor(buf);
+    uint32_t out = 0;
+    ASSERT_TRUE(GetFixed32(&cursor, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(cursor.empty());
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  for (uint64_t v : {uint64_t(0), uint64_t(1), uint64_t(1) << 33,
+                     std::numeric_limits<uint64_t>::max()}) {
+    std::string buf;
+    PutFixed64(&buf, v);
+    std::string_view cursor(buf);
+    uint64_t out = 0;
+    ASSERT_TRUE(GetFixed64(&cursor, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, VarintRoundTripAtBoundaries) {
+  const uint64_t values[] = {0,       127,        128,        16383,
+                             16384,   (1u << 21) - 1, 1u << 21,  0xffffffffu,
+                             uint64_t(1) << 32, uint64_t(1) << 63,
+                             std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(int(buf.size()), VarintLength(v)) << v;
+    std::string_view cursor(buf);
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&cursor, &out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(cursor.empty());
+  }
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, uint64_t(1) << 40);
+  std::string_view cursor(buf);
+  uint32_t out = 0;
+  EXPECT_FALSE(GetVarint32(&cursor, &out));
+}
+
+TEST(CodingTest, VarintRejectsTruncation) {
+  std::string buf;
+  PutVarint64(&buf, uint64_t(1) << 40);
+  for (size_t cut = 1; cut < buf.size(); ++cut) {
+    std::string_view cursor(buf.data(), cut);
+    uint64_t out = 0;
+    EXPECT_FALSE(GetVarint64(&cursor, &out)) << cut;
+  }
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  PutLengthPrefixed(&buf, "");
+  std::string_view cursor(buf);
+  std::string_view a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&cursor, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&cursor, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&cursor, &c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(cursor.empty());
+}
+
+TEST(CodingTest, LengthPrefixedRejectsShortPayload) {
+  std::string buf;
+  PutVarint32(&buf, 100);  // claims 100 bytes
+  buf += "only-a-few";
+  std::string_view cursor(buf);
+  std::string_view out;
+  EXPECT_FALSE(GetLengthPrefixed(&cursor, &out));
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status s = Status::AuthFailure("bad proof");
+  EXPECT_TRUE(s.IsAuthFailure());
+  EXPECT_EQ(s.ToString(), "AuthFailure: bad proof");
+  EXPECT_EQ(Status::NotFound().ToString(), "NotFound");
+  EXPECT_TRUE(Status::RollbackDetected("x").IsRollbackDetected());
+}
+
+TEST(StatusTest, ResultCarriesValueXorStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> bad(Status::IOError("disk"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(ok.value_or(-1), 42);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(7);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(4);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.Bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(double(hits) / 100000.0, 0.25, 0.01);
+}
+
+TEST(HistogramTest, MinMaxMeanCount) {
+  Histogram h;
+  h.Add(100);
+  h.Add(200);
+  h.Add(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.Min(), 100u);
+  EXPECT_EQ(h.Max(), 300u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 200.0);
+}
+
+TEST(HistogramTest, MergeAndClear) {
+  Histogram a, b;
+  a.Add(10);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.Max(), 1000u);
+  a.Clear();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.Mean(), 0.0);
+}
+
+TEST(HistogramTest, PercentileApproximatesDistribution) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) h.Add(i * 1000);  // 1us..1ms uniform
+  const double p50 = h.Percentile(50);
+  EXPECT_GT(p50, 300'000);
+  EXPECT_LT(p50, 800'000);
+  EXPECT_GE(h.Percentile(99), p50);
+}
+
+TEST(HistogramTest, SummaryFormatsFields) {
+  Histogram h;
+  h.Add(5000);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("mean="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace elsm

@@ -1,0 +1,194 @@
+// Merkle tree tests: membership paths and range proofs across a sweep of
+// tree sizes (property-style via TEST_P), adjacency semantics, tamper and
+// malformed-proof rejection, and wire-format round trips.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/merkle.h"
+
+namespace elsm::crypto {
+namespace {
+
+std::vector<Hash256> MakeLeaves(uint64_t n) {
+  std::vector<Hash256> leaves;
+  leaves.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    leaves.push_back(Sha256::Digest("leaf-" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+class MerkleSizeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MerkleSizeTest, EveryPathVerifies) {
+  const uint64_t n = GetParam();
+  MerkleTree tree(MakeLeaves(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    const MerklePath path = tree.Path(i);
+    EXPECT_TRUE(MerkleTree::VerifyPath(tree.leaf(i), path, n, tree.root())
+                    .ok())
+        << "n=" << n << " i=" << i;
+  }
+}
+
+TEST_P(MerkleSizeTest, WrongLeafFailsEveryPath) {
+  const uint64_t n = GetParam();
+  MerkleTree tree(MakeLeaves(n));
+  const Hash256 wrong = Sha256::Digest("not-a-leaf");
+  for (uint64_t i = 0; i < n; i += (n / 7 + 1)) {
+    EXPECT_FALSE(
+        MerkleTree::VerifyPath(wrong, tree.Path(i), n, tree.root()).ok());
+  }
+}
+
+TEST_P(MerkleSizeTest, AllRangesVerify) {
+  const uint64_t n = GetParam();
+  if (n > 64) GTEST_SKIP() << "quadratic sweep bounded to small trees";
+  MerkleTree tree(MakeLeaves(n));
+  for (uint64_t lo = 0; lo < n; ++lo) {
+    for (uint64_t hi = lo; hi < n; ++hi) {
+      std::vector<Hash256> run;
+      for (uint64_t i = lo; i <= hi; ++i) run.push_back(tree.leaf(i));
+      const MerkleRangeProof proof = tree.RangeProof(lo, hi);
+      EXPECT_TRUE(
+          MerkleTree::VerifyRange(run, proof, n, tree.root()).ok())
+          << "n=" << n << " [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST_P(MerkleSizeTest, RangeWithAlteredLeafFails) {
+  const uint64_t n = GetParam();
+  MerkleTree tree(MakeLeaves(n));
+  const uint64_t lo = 0;
+  const uint64_t hi = n - 1 < 5 ? n - 1 : 5;
+  std::vector<Hash256> run;
+  for (uint64_t i = lo; i <= hi; ++i) run.push_back(tree.leaf(i));
+  run[run.size() / 2][0] ^= 1;
+  EXPECT_FALSE(MerkleTree::VerifyRange(run, tree.RangeProof(lo, hi), n,
+                                       tree.root())
+                   .ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                           31, 33, 64, 100, 255, 256, 257,
+                                           1000));
+
+TEST(MerkleTest, EmptyTreeHasZeroRoot) {
+  MerkleTree tree({});
+  EXPECT_EQ(tree.root(), kZeroHash);
+  EXPECT_EQ(tree.leaf_count(), 0u);
+}
+
+TEST(MerkleTest, SingleLeafRootIsLeaf) {
+  auto leaves = MakeLeaves(1);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), leaves[0]);
+  EXPECT_TRUE(tree.Path(0).siblings.empty());
+}
+
+TEST(MerkleTest, RootChangesWithAnyLeaf) {
+  auto leaves = MakeLeaves(10);
+  MerkleTree tree(leaves);
+  for (int i = 0; i < 10; ++i) {
+    auto mutated = leaves;
+    mutated[size_t(i)][5] ^= 0x10;
+    EXPECT_NE(MerkleTree(mutated).root(), tree.root()) << i;
+  }
+}
+
+TEST(MerkleTest, PathAgainstWrongIndexFails) {
+  MerkleTree tree(MakeLeaves(16));
+  MerklePath path = tree.Path(5);
+  path.leaf_index = 6;
+  EXPECT_FALSE(
+      MerkleTree::VerifyPath(tree.leaf(5), path, 16, tree.root()).ok());
+}
+
+TEST(MerkleTest, TruncatedPathFails) {
+  MerkleTree tree(MakeLeaves(16));
+  MerklePath path = tree.Path(5);
+  path.siblings.pop_back();
+  EXPECT_FALSE(
+      MerkleTree::VerifyPath(tree.leaf(5), path, 16, tree.root()).ok());
+}
+
+TEST(MerkleTest, OverlongPathFails) {
+  MerkleTree tree(MakeLeaves(16));
+  MerklePath path = tree.Path(5);
+  path.siblings.push_back(kZeroHash);
+  EXPECT_FALSE(
+      MerkleTree::VerifyPath(tree.leaf(5), path, 16, tree.root()).ok());
+}
+
+TEST(MerkleTest, PathIndexBeyondCountFails) {
+  MerkleTree tree(MakeLeaves(8));
+  MerklePath path = tree.Path(7);
+  path.leaf_index = 8;
+  EXPECT_FALSE(
+      MerkleTree::VerifyPath(tree.leaf(7), path, 8, tree.root()).ok());
+}
+
+TEST(MerkleTest, CarriedNodePathsVerify) {
+  // Odd widths exercise the carry-up rule at several levels: 11 leaves give
+  // level widths 11 -> 6 -> 3 -> 2 -> 1.
+  MerkleTree tree(MakeLeaves(11));
+  for (uint64_t i = 0; i < 11; ++i) {
+    EXPECT_TRUE(
+        MerkleTree::VerifyPath(tree.leaf(i), tree.Path(i), 11, tree.root())
+            .ok())
+        << i;
+  }
+}
+
+TEST(MerkleTest, PathEncodeDecodeRoundTrip) {
+  MerkleTree tree(MakeLeaves(33));
+  const MerklePath path = tree.Path(20);
+  auto decoded = MerklePath::Decode(path.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().leaf_index, path.leaf_index);
+  EXPECT_EQ(decoded.value().siblings, path.siblings);
+}
+
+TEST(MerkleTest, RangeProofEncodeDecodeRoundTrip) {
+  MerkleTree tree(MakeLeaves(33));
+  const MerkleRangeProof proof = tree.RangeProof(7, 19);
+  auto decoded = MerkleRangeProof::Decode(proof.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().lo, proof.lo);
+  EXPECT_EQ(decoded.value().hashes, proof.hashes);
+}
+
+TEST(MerkleTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(MerklePath::Decode("\xff\xff\xff").ok());
+  EXPECT_FALSE(MerkleRangeProof::Decode("\x01\x05abc").ok());
+}
+
+TEST(MerkleTest, RangeProofWrongOffsetFails) {
+  MerkleTree tree(MakeLeaves(32));
+  std::vector<Hash256> run;
+  for (uint64_t i = 4; i <= 9; ++i) run.push_back(tree.leaf(i));
+  MerkleRangeProof proof = tree.RangeProof(4, 9);
+  proof.lo = 5;  // misaligned claim
+  EXPECT_FALSE(
+      MerkleTree::VerifyRange(run, proof, 32, tree.root()).ok());
+}
+
+TEST(MerkleTest, FullRangeNeedsNoExtraHashes) {
+  MerkleTree tree(MakeLeaves(16));
+  const MerkleRangeProof proof = tree.RangeProof(0, 15);
+  EXPECT_TRUE(proof.hashes.empty());
+  std::vector<Hash256> run;
+  for (uint64_t i = 0; i < 16; ++i) run.push_back(tree.leaf(i));
+  EXPECT_TRUE(MerkleTree::VerifyRange(run, proof, 16, tree.root()).ok());
+}
+
+TEST(MerkleTest, PathLengthIsLogarithmic) {
+  MerkleTree tree(MakeLeaves(1024));
+  EXPECT_EQ(tree.Path(512).siblings.size(), 10u);
+}
+
+}  // namespace
+}  // namespace elsm::crypto

@@ -1,0 +1,164 @@
+// Enclave-simulator tests: EPC LRU residency and fault behaviour, cost
+// charging, disabled-mode passthrough, sealed storage, monotonic counter.
+#include <gtest/gtest.h>
+
+#include "sgxsim/counter.h"
+#include "sgxsim/enclave.h"
+#include "sgxsim/epc.h"
+#include "sgxsim/sealed.h"
+
+namespace elsm::sgx {
+namespace {
+
+TEST(EpcTest, ColdAccessFaultsOncePerPage) {
+  EpcSimulator epc(64 * 4096, 4096);
+  const RegionId r = epc.Register(1 << 20);
+  EXPECT_EQ(epc.Access(r, 0, 4096 * 4), 4u);   // 4 cold pages
+  EXPECT_EQ(epc.Access(r, 0, 4096 * 4), 0u);   // now resident
+}
+
+TEST(EpcTest, AccessSpanningPageBoundary) {
+  EpcSimulator epc(64 * 4096, 4096);
+  const RegionId r = epc.Register(1 << 20);
+  EXPECT_EQ(epc.Access(r, 4000, 200), 2u);  // straddles two pages
+}
+
+TEST(EpcTest, WorkingSetBeyondCapacityThrashes) {
+  EpcSimulator epc(8 * 4096, 4096);  // 8-page EPC
+  const RegionId r = epc.Register(1 << 20);
+  // Touch 16 pages round-robin: every access misses (classic LRU thrash).
+  uint64_t faults = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t page = 0; page < 16; ++page) {
+      faults += epc.Access(r, page * 4096, 1);
+    }
+  }
+  EXPECT_EQ(faults, 48u);
+}
+
+TEST(EpcTest, WorkingSetWithinCapacityStaysResident) {
+  EpcSimulator epc(8 * 4096, 4096);
+  const RegionId r = epc.Register(1 << 20);
+  uint64_t faults = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (uint64_t page = 0; page < 8; ++page) {
+      faults += epc.Access(r, page * 4096, 1);
+    }
+  }
+  EXPECT_EQ(faults, 8u);  // cold misses only
+}
+
+TEST(EpcTest, LruEvictsColdestPage) {
+  EpcSimulator epc(2 * 4096, 4096);
+  const RegionId r = epc.Register(1 << 20);
+  EXPECT_EQ(epc.Access(r, 0, 1), 1u);        // page 0
+  EXPECT_EQ(epc.Access(r, 4096, 1), 1u);     // page 1
+  EXPECT_EQ(epc.Access(r, 0, 1), 0u);        // page 0 now MRU
+  EXPECT_EQ(epc.Access(r, 8192, 1), 1u);     // evicts page 1
+  EXPECT_EQ(epc.Access(r, 0, 1), 0u);        // page 0 survived
+  EXPECT_EQ(epc.Access(r, 4096, 1), 1u);     // page 1 was evicted
+}
+
+TEST(EpcTest, FreeDropsResidentPages) {
+  EpcSimulator epc(8 * 4096, 4096);
+  const RegionId r = epc.Register(1 << 20);
+  epc.Access(r, 0, 4096 * 4);
+  EXPECT_EQ(epc.resident_pages(), 4u);
+  epc.Free(r);
+  EXPECT_EQ(epc.resident_pages(), 0u);
+}
+
+TEST(EnclaveTest, WorldSwitchChargesAndCounts) {
+  CostModel m;
+  Enclave enclave(m, true);
+  enclave.ChargeEcall();
+  enclave.ChargeOcall();
+  EXPECT_EQ(enclave.now_ns(), m.ecall_ns + m.ocall_ns);
+  EXPECT_EQ(enclave.counters().ecalls, 1u);
+  EXPECT_EQ(enclave.counters().ocalls, 1u);
+}
+
+TEST(EnclaveTest, DisabledModeSkipsEnclaveCosts) {
+  CostModel m;
+  Enclave enclave(m, false);
+  enclave.ChargeEcall();
+  enclave.ChargeOcall();
+  EXPECT_EQ(enclave.now_ns(), 0u);
+  const RegionId r = enclave.RegisterRegion(100 << 20);
+  const uint64_t before = enclave.now_ns();
+  enclave.AccessRegion(r, 50 << 20, 4096);
+  // Only the untrusted-read per-byte cost; no faults.
+  EXPECT_EQ(enclave.now_ns() - before, 4096 * m.untrusted_read_pb / 1000);
+  EXPECT_EQ(enclave.counters().epc_faults, 0u);
+}
+
+TEST(EnclaveTest, RegionAccessBeyondEpcFaults) {
+  CostModel m;
+  m.epc_bytes = 16 * 4096;
+  Enclave enclave(m, true);
+  const RegionId r = enclave.RegisterRegion(1 << 20);
+  for (uint64_t page = 0; page < 64; ++page) {
+    enclave.AccessRegion(r, page * 4096, 1);
+  }
+  EXPECT_EQ(enclave.counters().epc_faults, 64u);
+  // Re-touch the last 8 pages: resident.
+  const uint64_t before = enclave.counters().epc_faults;
+  for (uint64_t page = 56; page < 64; ++page) {
+    enclave.AccessRegion(r, page * 4096, 1);
+  }
+  EXPECT_EQ(enclave.counters().epc_faults, before);
+}
+
+TEST(EnclaveTest, SoftwarePagingIsCheaperPerFault) {
+  CostModel m;
+  m.epc_bytes = 4 * 4096;
+  Enclave hw(m, true);
+  Enclave sw(m, true);
+  const RegionId rh = hw.RegisterRegion(1 << 20);
+  const RegionId rs = sw.RegisterRegion(1 << 20);
+  for (uint64_t page = 0; page < 32; ++page) {
+    hw.AccessRegion(rh, page * 4096, 1);
+    sw.AccessRegion(rs, page * 4096, 1, /*software_paging=*/true);
+  }
+  EXPECT_GT(hw.now_ns(), sw.now_ns());
+}
+
+TEST(EnclaveTest, CostHelpersMatchModel) {
+  CostModel m;
+  Enclave enclave(m, true);
+  enclave.ChargeHash(1000);
+  EXPECT_EQ(enclave.now_ns(), m.HashCost(1000));
+  EXPECT_EQ(enclave.counters().bytes_hashed, 1000u);
+  const uint64_t t = enclave.now_ns();
+  enclave.Copy(2000, true);
+  EXPECT_EQ(enclave.now_ns() - t, m.CopyCost(2000, true));
+}
+
+TEST(SealedTest, RoundTrip) {
+  const std::string blob = Seal("k", "payload-bytes");
+  auto out = Unseal("k", blob);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "payload-bytes");
+}
+
+TEST(SealedTest, WrongKeyRejected) {
+  EXPECT_TRUE(Unseal("other", Seal("k", "p")).status().IsAuthFailure());
+}
+
+TEST(SealedTest, TamperRejected) {
+  std::string blob = Seal("k", "payload");
+  blob[2] ^= 1;
+  EXPECT_TRUE(Unseal("k", blob).status().IsAuthFailure());
+  EXPECT_FALSE(Unseal("k", "tiny").ok());
+}
+
+TEST(CounterTest, MonotoneAcrossIncrements) {
+  MonotonicCounter c;
+  EXPECT_EQ(c.Read(), 0u);
+  EXPECT_EQ(c.Increment(), 1u);
+  EXPECT_EQ(c.Increment(), 2u);
+  EXPECT_EQ(c.Read(), 2u);
+}
+
+}  // namespace
+}  // namespace elsm::sgx

@@ -1,0 +1,165 @@
+// YCSB generator and runner tests: distribution skew properties, workload
+// mix ratios, key formatting, and an end-to-end run against ElsmDb.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "elsm/elsm_db.h"
+#include "ycsb/kv_interface.h"
+#include "ycsb/runner.h"
+#include "ycsb/workload.h"
+
+namespace elsm::ycsb {
+namespace {
+
+TEST(DistributionTest, UniformCoversKeyspaceEvenly) {
+  Rng rng(1);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.Uniform(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 8500);
+    EXPECT_LT(c, 11500);
+  }
+}
+
+TEST(DistributionTest, ZipfianIsSkewed) {
+  Rng rng(2);
+  ZipfianGenerator zipf(10000);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next(rng)];
+  // Rank 0 should dominate: YCSB zipfian(0.99) gives it ~10% of the mass.
+  EXPECT_GT(counts[0], 5000);
+  // And the tail is long: far more distinct keys than a uniform head.
+  EXPECT_GT(counts.size(), 1000u);
+}
+
+TEST(DistributionTest, ScrambledZipfianSpreadsHotKeys) {
+  Rng rng(3);
+  ScrambledZipfianGenerator zipf(10000);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Next(rng)];
+  // The hottest key should NOT be key 0 (it is hashed somewhere else) but
+  // skew must persist.
+  int max_count = 0;
+  uint64_t max_key = 0;
+  for (auto& [k, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      max_key = k;
+    }
+  }
+  EXPECT_NE(max_key, 0u);
+  EXPECT_GT(max_count, 2000);
+}
+
+TEST(DistributionTest, LatestFavorsRecentKeys) {
+  Rng rng(4);
+  LatestGenerator latest(10000);
+  int recent = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (latest.Next(rng) >= 9000) ++recent;
+  }
+  EXPECT_GT(recent, 6000);  // >60% of draws from the newest 10%
+}
+
+TEST(DistributionTest, LatestTracksInserts) {
+  Rng rng(5);
+  LatestGenerator latest(100);
+  latest.AdvanceTo(200);
+  bool saw_new = false;
+  for (int i = 0; i < 1000; ++i) {
+    if (latest.Next(rng) >= 100) saw_new = true;
+  }
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(WorkloadTest, KeyFormatting) {
+  EXPECT_EQ(MakeKey(0, 16).size(), 16u);
+  EXPECT_EQ(MakeKey(123456, 16), "u000000000123456");
+  EXPECT_EQ(MakeKey(1, 20).size(), 20u);
+  EXPECT_EQ(MakeValue(7, 100).size(), 100u);
+  EXPECT_EQ(MakeValue(7, 100), MakeValue(7, 100));
+  EXPECT_NE(MakeValue(7, 100), MakeValue(8, 100));
+}
+
+TEST(WorkloadTest, KeysSortLikeIndices) {
+  for (uint64_t i = 0; i + 1 < 2000; i += 97) {
+    EXPECT_LT(MakeKey(i, 16), MakeKey(i + 1, 16));
+  }
+}
+
+TEST(WorkloadTest, CoreWorkloadProportions) {
+  const WorkloadSpec a = WorkloadSpec::A();
+  EXPECT_DOUBLE_EQ(a.read_proportion + a.update_proportion, 1.0);
+  const WorkloadSpec d = WorkloadSpec::D();
+  EXPECT_EQ(d.distribution, KeyDistribution::kLatest);
+  const WorkloadSpec e = WorkloadSpec::E();
+  EXPECT_GT(e.scan_proportion, 0.9);
+}
+
+TEST(WorkloadTest, MixMatchesRequestedRatio) {
+  WorkloadSpec spec = WorkloadSpec::ReadWriteMix(70);
+  spec.record_count = 100;
+  KeyChooser chooser(spec, 9);
+  int reads = 0;
+  const int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) {
+    if (chooser.NextOp() == OpType::kRead) ++reads;
+  }
+  EXPECT_NEAR(double(reads) / kOps, 0.70, 0.02);
+}
+
+TEST(RunnerTest, LoadThenRunAgainstElsm) {
+  Options options;
+  options.mode = Mode::kP2;
+  options.memtable_bytes = 8 << 10;
+  options.level1_bytes = 32 << 10;
+  auto db = ElsmDb::Create(options);
+  ASSERT_TRUE(db.ok());
+  ElsmKv kv(db.value().get());
+
+  WorkloadSpec spec = WorkloadSpec::A();
+  spec.record_count = 500;
+  spec.operation_count = 1000;
+  YcsbRunner runner(spec);
+  ASSERT_TRUE(runner.Load(kv).ok());
+  auto stats = runner.Run(kv);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().ops, 1000u);
+  EXPECT_EQ(stats.value().failures, 0u);
+  EXPECT_EQ(stats.value().not_found, 0u);  // reads target loaded keys
+  EXPECT_GT(stats.value().MeanLatencyUs(), 0.0);
+  EXPECT_GT(stats.value().reads.count(), 0u);
+  EXPECT_GT(stats.value().writes.count(), 0u);
+}
+
+TEST(RunnerTest, WorkloadEScansSucceed) {
+  Options options;
+  options.mode = Mode::kP2;
+  options.memtable_bytes = 8 << 10;
+  auto db = ElsmDb::Create(options);
+  ASSERT_TRUE(db.ok());
+  ElsmKv kv(db.value().get());
+
+  WorkloadSpec spec = WorkloadSpec::E();
+  spec.record_count = 300;
+  spec.operation_count = 100;
+  spec.max_scan_len = 20;
+  YcsbRunner runner(spec);
+  ASSERT_TRUE(runner.Load(kv).ok());
+  auto stats = runner.Run(kv);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats.value().scans.count(), 0u);
+}
+
+TEST(RunnerTest, HistogramPercentilesOrdered) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Add(v);
+  EXPECT_LE(h.Percentile(50), h.Percentile(95));
+  EXPECT_LE(h.Percentile(95), h.Percentile(99));
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_NEAR(h.Mean(), 5000.5, 1.0);
+}
+
+}  // namespace
+}  // namespace elsm::ycsb
