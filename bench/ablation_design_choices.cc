@@ -34,6 +34,8 @@ int main() {
     std::printf("A1 early-stop w/ bloom: %8.2f us   w/o bloom: %8.2f us  "
                 "(bloom saves %.1f%%)\n",
                 bloom_us, nobloom_us, 100.0 * (1.0 - bloom_us / nobloom_us));
+    ReportRow("ablation", "a1-read-with-bloom", "variant", 0, bloom_us);
+    ReportRow("ablation", "a1-read-without-bloom", "variant", 1, nobloom_us);
   }
 
   // --- A2: verification on/off ----------------------------------------------
@@ -50,6 +52,8 @@ int main() {
     std::printf("A2 GET w/ VRFY:         %8.2f us   w/o VRFY:  %8.2f us  "
                 "(verification costs %.2fx)\n",
                 vrfy_us, raw_us, vrfy_us / raw_us);
+    ReportRow("ablation", "a2-read-verified", "variant", 0, vrfy_us);
+    ReportRow("ablation", "a2-read-unverified", "variant", 1, raw_us);
   }
 
   // --- A3: proof layout -------------------------------------------------------
@@ -77,6 +81,14 @@ int main() {
     std::printf("   write latency:       sidecar %6.2f us   embedded-paths "
                 "%6.2f us\n",
                 side_store.put_us, embed_store.put_us);
+    ReportRow("ablation", "a3-storage-sidecar", "variant", 0,
+              double(side_bytes) / (1 << 20), "mib");
+    ReportRow("ablation", "a3-storage-embedded", "variant", 1,
+              double(embed_bytes) / (1 << 20), "mib");
+    ReportRow("ablation", "a3-write-sidecar", "variant", 0,
+              side_store.put_us);
+    ReportRow("ablation", "a3-write-embedded", "variant", 1,
+              embed_store.put_us);
   }
 
   // --- A4: rollback-defence sync period ---------------------------------------
@@ -90,6 +102,7 @@ int main() {
       Store store = BuildStore(o, records / 4);
       std::printf("   every %2u flushes: %8.2f us/put\n", period,
                   store.put_us);
+      ReportRow("ablation", "a4-write", "sync_period", period, store.put_us);
     }
   }
   return 0;

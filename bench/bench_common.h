@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -22,12 +23,90 @@ namespace elsm::bench {
 inline constexpr uint64_t kScale = 128;
 inline constexpr uint64_t kRecordBytes = 116;  // 16 B key + 100 B value
 
+// Quick mode (ELSM_BENCH_QUICK=1): datasets are shrunk by a further 8x so
+// the whole suite finishes in about a minute. Per-op costs stay honest;
+// the EPC-crossing figure *shapes* are muted because buffers and the EPC
+// keep their normal scaled sizes. Use full mode when checking the paper's
+// claimed ratios.
+inline uint64_t QuickDivisor() {
+  static const uint64_t div = [] {
+    const char* q = std::getenv("ELSM_BENCH_QUICK");
+    return (q != nullptr && q[0] != '\0' && q[0] != '0') ? uint64_t(8)
+                                                         : uint64_t(1);
+  }();
+  return div;
+}
+
 // Paper megabytes -> scaled bytes.
 inline uint64_t ScaledBytes(double paper_mb) {
   return uint64_t(paper_mb * 1024.0 * 1024.0 / double(kScale));
 }
 inline uint64_t RecordsFor(double paper_mb) {
-  return ScaledBytes(paper_mb) / kRecordBytes;
+  return std::max<uint64_t>(ScaledBytes(paper_mb) / kRecordBytes /
+                                QuickDivisor(),
+                            64);
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable output. When ELSM_BENCH_JSON names a file, every
+// ReportRow() appends one JSON object per line (JSONL):
+//   {"bench":"fig2","series":"inside","x_name":"buffer_mb","x":64,
+//    "unit":"us","value":12.34}
+// scripts/run_bench.sh sets the variable and folds the rows into
+// BENCH_*.json. Without the variable the reporter is a no-op, so benches
+// stay plain printf tools when run by hand.
+// ---------------------------------------------------------------------------
+class JsonReporter {
+ public:
+  static JsonReporter& Instance() {
+    static JsonReporter reporter;
+    return reporter;
+  }
+
+  void Row(const char* bench, const std::string& series, const char* x_name,
+           double x, double value, const char* unit) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_,
+                 "{\"bench\":\"%s\",\"series\":\"%s\",\"x_name\":\"%s\","
+                 "\"x\":%.6g,\"unit\":\"%s\",\"value\":%.6g}\n",
+                 Escape(bench).c_str(), Escape(series).c_str(),
+                 Escape(x_name).c_str(), x, Escape(unit).c_str(), value);
+    std::fflush(file_);
+  }
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+ private:
+  JsonReporter() {
+    const char* path = std::getenv("ELSM_BENCH_JSON");
+    if (path != nullptr && path[0] != '\0') file_ = std::fopen(path, "a");
+  }
+  ~JsonReporter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  // Labels are plain ASCII identifiers; escape the JSON specials anyway.
+  static std::string Escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::FILE* file_ = nullptr;
+};
+
+// One measured point: `series` is the line in the figure (e.g. "inside",
+// "p2-mmap"), `x` its position on the x axis, `value` the latency in `unit`.
+inline void ReportRow(const char* bench, const std::string& series,
+                      const char* x_name, double x, double value,
+                      const char* unit = "us") {
+  JsonReporter::Instance().Row(bench, series, x_name, x, value, unit);
 }
 
 // Scaled default geometry shared by all benches.

@@ -49,6 +49,8 @@ int main() {
 
     std::printf("%12.0f %18.2f %18.2f %7.2fx\n", mb, out_us, in_us,
                 in_us / out_us);
+    ReportRow("fig2", "outside", "buffer_mb", mb, out_us);
+    ReportRow("fig2", "inside-p1", "buffer_mb", mb, in_us);
   }
   return 0;
 }

@@ -45,6 +45,9 @@ int main() {
         ComposedMixLatencyUs(raw_store, spec, records, kOps);
     std::printf("%8d %14.2f %14.2f %16.2f %9.2fx %11.2fx\n", read_pct, p2_us,
                 p1_us, raw_us, p2_us / raw_us, p1_us / p2_us);
+    ReportRow("fig5a", "p2-mmap", "read_pct", read_pct, p2_us);
+    ReportRow("fig5a", "p1", "read_pct", read_pct, p1_us);
+    ReportRow("fig5a", "unsecured", "read_pct", read_pct, raw_us);
   }
   return 0;
 }

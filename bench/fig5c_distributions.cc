@@ -30,6 +30,7 @@ int main() {
 
   std::printf("%12s %14s %14s %10s\n", "distribution", "P2-mmap(us)",
               "P1(us)", "P1/P2");
+  int dist_index = 0;
   for (auto dist : dists) {
     auto spec = ycsb::WorkloadSpec::A();
     spec.distribution = dist;
@@ -37,6 +38,12 @@ int main() {
     const double p1_us = ComposedMixLatencyUs(p1_store, spec, records, kOps);
     std::printf("%12s %14.2f %14.2f %9.2fx\n", ycsb::KeyDistributionName(dist),
                 p2_us, p1_us, p1_us / p2_us);
+    const std::string name = ycsb::KeyDistributionName(dist);
+    ReportRow("fig5c", std::string("p2-mmap/") + name, "dist_index",
+              dist_index, p2_us);
+    ReportRow("fig5c", std::string("p1/") + name, "dist_index", dist_index,
+              p1_us);
+    ++dist_index;
   }
   return 0;
 }

@@ -72,7 +72,11 @@ int main() {
     } else {
       std::printf("%10.0f %14.2f %10.2f %12.2f %16.2f\n", mb, p2_us, p1_us,
                   eleos_us, raw_us);
+      ReportRow("fig6a", "eleos", "data_mb", mb, eleos_us);
     }
+    ReportRow("fig6a", "p2-mmap", "data_mb", mb, p2_us);
+    ReportRow("fig6a", "p1", "data_mb", mb, p1_us);
+    ReportRow("fig6a", "unsecured", "data_mb", mb, raw_us);
   }
   return 0;
 }

@@ -35,6 +35,8 @@ int main() {
 
     std::printf("%10.0f %14.2f %16.2f %9.2fx\n", mb, mmap_us, buffer_us,
                 buffer_us / mmap_us);
+    ReportRow("fig6b", "p2-mmap", "data_mb", mb, mmap_us);
+    ReportRow("fig6b", "p2-buffer", "data_mb", mb, buffer_us);
   }
   return 0;
 }

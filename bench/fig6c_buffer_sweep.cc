@@ -41,6 +41,8 @@ int main() {
 
     std::printf("%12.0f %16.2f %10.2f %9.2fx\n", mb, p2_us, p1_us,
                 p1_us / p2_us);
+    ReportRow("fig6c", "p2-buffer", "buffer_mb", mb, p2_us);
+    ReportRow("fig6c", "p1", "buffer_mb", mb, p1_us);
   }
   return 0;
 }

@@ -67,7 +67,10 @@ int main() {
     } else {
       std::printf("%10.1f %14.2f %10.2f %12.2f %9.2fx\n", gb, p2_us, p1_us,
                   eleos_us, p2_us / p1_us);
+      ReportRow("fig7a", "eleos", "data_gb", gb, eleos_us);
     }
+    ReportRow("fig7a", "p2-mmap", "data_gb", gb, p2_us);
+    ReportRow("fig7a", "p1", "data_gb", gb, p1_us);
   }
   return 0;
 }

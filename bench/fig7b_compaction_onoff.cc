@@ -45,6 +45,10 @@ int main() {
         WriteLatency(Mode::kP1, "f7b-p1off", records, kOps, false);
     std::printf("%10.1f %12.2f %12.2f %14.2f %14.2f %11.2fx\n", gb, p2_on,
                 p1_on, p2_off, p1_off, p2_on / p2_off);
+    ReportRow("fig7b", "p2-compaction-on", "data_gb", gb, p2_on);
+    ReportRow("fig7b", "p1-compaction-on", "data_gb", gb, p1_on);
+    ReportRow("fig7b", "p2-compaction-off", "data_gb", gb, p2_off);
+    ReportRow("fig7b", "p1-compaction-off", "data_gb", gb, p1_off);
   }
   return 0;
 }

@@ -39,6 +39,8 @@ int main() {
 
     std::printf("%12.0f %14.2f %16.2f %7.2fx\n", mb, p1_us, raw_us,
                 p1_us / raw_us);
+    ReportRow("fig8", "inside-p1", "wbuf_mb", mb, p1_us);
+    ReportRow("fig8", "outside", "wbuf_mb", mb, raw_us);
   }
   return 0;
 }

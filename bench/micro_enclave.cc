@@ -5,6 +5,7 @@
 // size, inside the enclave (hardware paging) vs plain untrusted memory.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "common/random.h"
 #include "sgxsim/enclave.h"
 
@@ -47,6 +48,10 @@ int main() {
 
     std::printf("%15.2fx %16.1f %18.1f %9.1fx\n", factor, enclave_ns,
                 plain_ns, enclave_ns / plain_ns);
+    bench::ReportRow("micro_enclave", "enclave", "region_over_epc", factor,
+                     enclave_ns, "ns");
+    bench::ReportRow("micro_enclave", "untrusted", "region_over_epc", factor,
+                     plain_ns, "ns");
   }
   return 0;
 }

@@ -57,6 +57,10 @@ int main() {
     const double btree_r =
         double(enclave->now_ns() - start) / double(kOps) / 1000.0;
 
+    ReportRow("table_ads", "elsm-write", "data_mb", mb, elsm_w);
+    ReportRow("table_ads", "btree-write", "data_mb", mb, btree_w);
+    ReportRow("table_ads", "elsm-read", "data_mb", mb, elsm_r);
+    ReportRow("table_ads", "btree-read", "data_mb", mb, btree_r);
     std::printf("%10.0f %12.2f %12.2f %11.1fx %12.2f %12.2f\n", mb, elsm_w,
                 btree_w, btree_w / elsm_w, elsm_r, btree_r);
   }

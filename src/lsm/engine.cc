@@ -82,7 +82,7 @@ Status LsmEngine::Put(Record record) {
 
 Result<GetResponse> LsmEngine::Get(std::string_view key, uint64_t ts_max) {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  ++stats_.gets;
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
   GetResponse resp;
 
   // L0: the in-enclave memtable is trusted; a hit stops the search.
@@ -282,7 +282,7 @@ Status LsmEngine::LookupInLevel(const LevelMeta& level, std::string_view key,
 Result<ScanResponse> LsmEngine::Scan(std::string_view k1,
                                      std::string_view k2) {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  ++stats_.scans;
+  stats_.scans.fetch_add(1, std::memory_order_relaxed);
   ScanResponse resp;
 
   // L0: trusted scan of the memtable (newest visible version per key).

@@ -21,6 +21,7 @@
 // compaction take the exclusive lock (LevelDB-style single writer).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
@@ -130,8 +131,10 @@ struct ScanResponse {
 
 struct EngineStats {
   uint64_t puts = 0;
-  uint64_t gets = 0;
-  uint64_t scans = 0;
+  // gets/scans are bumped on the shared-lock read path, so they must be
+  // atomic; the write-path counters are covered by the exclusive lock.
+  std::atomic<uint64_t> gets = 0;
+  std::atomic<uint64_t> scans = 0;
   uint64_t flushes = 0;
   uint64_t compactions = 0;
   uint64_t compaction_bytes_in = 0;

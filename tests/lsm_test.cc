@@ -98,7 +98,9 @@ TEST(SkipListTest, IteratorYieldsSortedOrder) {
   int count = 0;
   const Record* prev = nullptr;
   for (auto it = list.NewIterator(); it.Valid(); it.Next()) {
-    if (prev != nullptr) EXPECT_TRUE(less(*prev, it.record()));
+    if (prev != nullptr) {
+      EXPECT_TRUE(less(*prev, it.record()));
+    }
     prev = &it.record();
     ++count;
   }

@@ -163,7 +163,9 @@ TEST(MerkleTest, RangeProofEncodeDecodeRoundTrip) {
 
 TEST(MerkleTest, DecodeRejectsGarbage) {
   EXPECT_FALSE(MerklePath::Decode("\xff\xff\xff").ok());
-  EXPECT_FALSE(MerkleRangeProof::Decode("\x01\x05abc").ok());
+  EXPECT_FALSE(MerkleRangeProof::Decode("\x01\x05"
+                                        "abc")
+                   .ok());
 }
 
 TEST(MerkleTest, RangeProofWrongOffsetFails) {

@@ -68,7 +68,9 @@ TEST_P(RandomOpsTest, MatchesReferenceModel) {
           it != model.end() && it->second.has_value();
       ASSERT_EQ(got.value().has_value(), expect_present)
           << "op=" << op << " key=" << key;
-      if (expect_present) EXPECT_EQ(*got.value(), *it->second);
+      if (expect_present) {
+        EXPECT_EQ(*got.value(), *it->second);
+      }
     } else if (which < 98) {  // scan
       const std::string hi = key_of(rng.Uniform(150));
       const std::string lo = std::min(key, hi);
