@@ -71,6 +71,14 @@ int main() {
     }
     ReportRow("fig7a", "p2-mmap", "data_gb", gb, p2_us);
     ReportRow("fig7a", "p1", "data_gb", gb, p1_us);
+    // Streaming-compaction memory: high-water mark of entry bytes one merge
+    // held resident (O(blocks in flight), not O(level)).
+    const double peak_kb =
+        double(p2_store.db->engine()
+                   .stats()
+                   .compaction_peak_resident_bytes.load()) /
+        1024.0;
+    ReportRow("fig7a", "p2-compaction-peak", "data_gb", gb, peak_kb, "kb");
   }
   return 0;
 }

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON baselines (scripts/run_bench.sh output).
+
+    scripts/compare_bench.py BENCH_seed.json BENCH_pr2.json
+    scripts/compare_bench.py base.json new.json --threshold 0.20 \
+        --watch 'fig7a:*' --watch 'fig7b:p2-*'
+
+Rows are matched on (bench, series, x_name, x). The exit code is non-zero
+when any *watched* row regresses (its value grows) by more than --threshold,
+or when a watched base row disappeared. Only rows with simulated units
+("us", "ns") are watched: wall-clock and size rows ("us_wall", "kb") are
+machine- or feature-dependent and reported informationally.
+
+Default watch list: every figure bench ("fig*:*"). micro_* benches measure
+real time and are never watched by default.
+"""
+import argparse
+import fnmatch
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "elsm-bench-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    rows = {}
+    for row in doc.get("rows", []):
+        key = (row["bench"], row["series"], row.get("x_name", ""), row["x"])
+        rows[key] = row
+    return doc, rows
+
+
+def watched(key, row, patterns):
+    if row.get("unit") not in ("us", "ns"):
+        return False
+    name = f"{key[0]}:{key[1]}"
+    return any(fnmatch.fnmatch(name, pat) for pat in patterns)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("base")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max allowed relative increase of a watched row")
+    parser.add_argument("--watch", action="append", default=[],
+                        help="bench:series glob to gate on (repeatable); "
+                             "default: 'fig*:*'")
+    parser.add_argument("--top", type=int, default=40,
+                        help="how many largest deltas to print")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail when a watched base row is gone")
+    args = parser.parse_args()
+    patterns = args.watch or ["fig*:*"]
+
+    base_doc, base = load_rows(args.base)
+    new_doc, new = load_rows(args.new)
+    if base_doc.get("quick") != new_doc.get("quick"):
+        print(f"WARNING: quick-mode mismatch (base quick={base_doc.get('quick')}, "
+              f"new quick={new_doc.get('quick')}): values are not comparable")
+
+    deltas = []           # (rel_delta, key, base_value, new_value, is_watched)
+    regressions = []
+    missing = []
+    for key, row in sorted(base.items()):
+        gate = watched(key, row, patterns)
+        if key not in new:
+            if gate:
+                missing.append(key)
+            continue
+        b, n = row["value"], new[key]["value"]
+        rel = (n - b) / b if b else float("inf") if n else 0.0
+        deltas.append((rel, key, b, n, gate))
+        if gate and rel > args.threshold:
+            regressions.append((rel, key, b, n))
+    added = [k for k in new if k not in base]
+
+    label = lambda k: f"{k[0]}:{k[1]} @{k[2]}={k[3]:g}"
+    print(f"compared {len(deltas)} rows "
+          f"({base_doc.get('label')} -> {new_doc.get('label')}); "
+          f"{len(added)} new, {len(missing)} watched-missing, "
+          f"threshold {args.threshold:.0%}")
+    print(f"{'delta':>8}  {'base':>12}  {'new':>12}  row")
+    for rel, key, b, n, gate in sorted(deltas, key=lambda d: -abs(d[0]))[:args.top]:
+        flag = " <-- REGRESSION" if gate and rel > args.threshold else ""
+        mark = "*" if gate else " "
+        print(f"{rel:>+7.1%}{mark} {b:>12.4g}  {n:>12.4g}  {label(key)}{flag}")
+    if added:
+        print("new rows: " + ", ".join(sorted(label(k) for k in added)[:20]))
+    for key in missing:
+        print(f"MISSING watched row: {label(key)}")
+
+    failed = bool(regressions) or (bool(missing) and not args.allow_missing)
+    if regressions:
+        print(f"FAIL: {len(regressions)} watched row(s) regressed "
+              f"> {args.threshold:.0%}")
+    elif missing and not args.allow_missing:
+        print(f"FAIL: {len(missing)} watched base row(s) missing")
+    else:
+        print("OK: no watched regression")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,23 +22,69 @@ void ForEachGroup(size_t n, GetKey&& key_of, Fn&& fn) {
 
 }  // namespace
 
+void RunDigester::Add(const lsm::Record& record, std::string_view core) {
+  if (!in_group_ || record.key != current_key_) {
+    SealGroup();
+    current_key_ = record.key;
+    in_group_ = true;
+  }
+  group_cores_.emplace_back(core);
+  enclave_->ChargeHash(core.size() + 33);
+}
+
+void RunDigester::SealGroup() {
+  if (!in_group_ || group_cores_.empty()) return;
+  leaves_.push_back(crypto::ChainDigest(group_cores_));
+  group_cores_.clear();
+}
+
+LevelDigest RunDigester::Finish() {
+  SealGroup();
+  in_group_ = false;
+  enclave_->ChargeHash(leaves_.size() * 64);  // interior nodes, amortized
+  crypto::MerkleTree tree(std::move(leaves_));
+  leaves_.clear();
+  return LevelDigest{tree.root(), tree.leaf_count()};
+}
+
+Status SealBuilder::AddGroup(const std::vector<lsm::Record>& group,
+                             std::vector<std::string>* proof_blobs) {
+  if (group.empty()) return Status::Ok();
+  std::vector<std::string> encodings;
+  encodings.reserve(group.size());
+  for (const lsm::Record& r : group) encodings.push_back(r.EncodeCore());
+  const auto suffixes = crypto::ChainSuffixes(encodings);
+  const uint64_t leaf_index = leaves_.size();
+  for (size_t i = 0; i < group.size(); ++i) {
+    EmbeddedProof proof;
+    proof.leaf_index = leaf_index;
+    proof.suffix = suffixes[i];
+    proof_blobs->push_back(proof.Encode());
+    enclave_->ChargeHash(encodings[i].size() + 33);
+  }
+  leaves_.push_back(crypto::ChainDigest(encodings));
+  return Status::Ok();
+}
+
+Result<lsm::CompactionSeal> SealBuilder::Finish() {
+  lsm::CompactionSeal seal;
+  if (leaves_.empty()) return seal;
+  enclave_->ChargeHash(leaves_.size() * 64);  // interior-node hashing
+  crypto::MerkleTree tree(std::move(leaves_));
+  leaves_.clear();
+  seal.root = tree.root();
+  seal.leaf_count = tree.leaf_count();
+  seal.tree_payload = TreeFile::Serialize(tree);
+  // The sidecar is recomputed above; charge the duplicate interior pass.
+  enclave_->ChargeHash(seal.leaf_count * 32);
+  return seal;
+}
+
 LevelDigest DigestRun(const std::vector<lsm::RawEntry>& run,
                       sgx::Enclave& enclave) {
-  std::vector<crypto::Hash256> leaves;
-  ForEachGroup(
-      run.size(), [&](size_t i) -> const std::string& { return run[i].record.key; },
-      [&](size_t first, size_t last) {
-        std::vector<std::string> encodings;
-        encodings.reserve(last - first);
-        for (size_t i = first; i < last; ++i) {
-          encodings.push_back(run[i].core);
-          enclave.ChargeHash(run[i].core.size() + 33);
-        }
-        leaves.push_back(crypto::ChainDigest(encodings));
-      });
-  enclave.ChargeHash(leaves.size() * 64);  // interior nodes, amortized
-  crypto::MerkleTree tree(std::move(leaves));
-  return LevelDigest{tree.root(), tree.leaf_count()};
+  RunDigester digester(&enclave);
+  for (const lsm::RawEntry& e : run) digester.Add(e.record, e.core);
+  return digester.Finish();
 }
 
 Result<lsm::CompactionSeal> BuildLevelSeal(

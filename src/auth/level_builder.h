@@ -7,6 +7,8 @@
 // records) and is charged on the enclave cost model.
 #pragma once
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -18,6 +20,45 @@ namespace elsm::auth {
 struct LevelDigest {
   crypto::Hash256 root = crypto::kZeroHash;
   uint64_t leaf_count = 0;
+};
+
+// Incremental form of DigestRun: feed the run's records in order (key asc,
+// ts desc); per-key chains seal as the key changes, so only the current
+// group's encodings are ever buffered. Finish() builds the Merkle root over
+// the accumulated 32-byte leaves.
+class RunDigester {
+ public:
+  explicit RunDigester(sgx::Enclave* enclave) : enclave_(enclave) {}
+
+  void Add(const lsm::Record& record, std::string_view core);
+  LevelDigest Finish();
+
+ private:
+  void SealGroup();
+
+  sgx::Enclave* enclave_;
+  std::string current_key_;
+  bool in_group_ = false;
+  std::vector<std::string> group_cores_;
+  std::vector<crypto::Hash256> leaves_;
+};
+
+// Incremental form of BuildLevelSeal for the streaming compaction path:
+// AddGroup() seals one merged key group (newest-first) and emits its proof
+// blobs immediately; Finish() returns root/leaf_count/tree sidecar. Only
+// valid without embed_full_paths — full Merkle paths need the finished
+// tree, i.e. the buffered protocol.
+class SealBuilder {
+ public:
+  explicit SealBuilder(sgx::Enclave* enclave) : enclave_(enclave) {}
+
+  Status AddGroup(const std::vector<lsm::Record>& group,
+                  std::vector<std::string>* proof_blobs);
+  Result<lsm::CompactionSeal> Finish();
+
+ private:
+  sgx::Enclave* enclave_;
+  std::vector<crypto::Hash256> leaves_;
 };
 
 // Computes only the digest of a sorted run — used to re-authenticate

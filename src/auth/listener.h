@@ -2,10 +2,19 @@
 //
 // The listener reconstructs each input run's Merkle digest and compares it
 // with the enclave-held root for that level (input authentication); on
-// output it builds the new level's digest, embedded proofs and tree sidecar
-// via BuildLevelSeal. The LsmEngine never learns what the seal means —
-// exactly the RocksDB-callback integration the paper claims.
+// output it builds the new level's digest, embedded proofs and tree sidecar.
+// The LsmEngine never learns what the seal means — exactly the RocksDB-
+// callback integration the paper claims.
+//
+// Two protocols: the default streaming protocol digests inputs entry by
+// entry and seals output groups as the merge produces them, so compaction
+// never buffers a whole level; embed_full_paths falls back to the buffered
+// protocol (OnInputRun/OnOutput) because a record's full Merkle path needs
+// the finished tree.
 #pragma once
+
+#include <string_view>
+#include <vector>
 
 #include "auth/level_builder.h"
 #include "lsm/engine.h"
@@ -18,15 +27,14 @@ class AuthCompactionListener : public lsm::CompactionListener {
   AuthCompactionListener(sgx::Enclave* enclave, bool embed_full_paths)
       : enclave_(enclave), embed_full_paths_(embed_full_paths) {}
 
+  bool streaming() const override { return !embed_full_paths_; }
+
+  // --- buffered protocol (embed_full_paths; also callable directly) --------
   Status OnInputRun(int src_depth, const std::vector<lsm::RawEntry>& run,
                     const lsm::LevelMeta* meta) override {
     if (src_depth < 0 || meta == nullptr) return Status::Ok();  // memtable
     const LevelDigest digest = DigestRun(run, *enclave_);
-    if (digest.root != meta->root || digest.leaf_count != meta->leaf_count) {
-      return Status::AuthFailure("compaction input digest mismatch at level " +
-                                 std::to_string(src_depth));
-    }
-    return Status::Ok();
+    return CheckDigest(digest, *meta, src_depth);
   }
 
   Result<lsm::CompactionSeal> OnOutput(
@@ -34,9 +42,75 @@ class AuthCompactionListener : public lsm::CompactionListener {
     return BuildLevelSeal(output, *enclave_, embed_full_paths_);
   }
 
+  // --- streaming protocol --------------------------------------------------
+  Status OnCompactionBegin(size_t run_count) override {
+    inputs_.clear();
+    inputs_.reserve(run_count);
+    for (size_t i = 0; i < run_count; ++i) inputs_.emplace_back(enclave_);
+    seal_builder_ = SealBuilder(enclave_);
+    return Status::Ok();
+  }
+
+  Status OnInputRunBegin(size_t run_idx, int src_depth,
+                         const lsm::LevelMeta* meta) override {
+    if (run_idx >= inputs_.size()) {
+      return Status::InvalidArgument("input run index out of range");
+    }
+    inputs_[run_idx].depth = src_depth;
+    inputs_[run_idx].meta = (src_depth >= 0) ? meta : nullptr;
+    return Status::Ok();
+  }
+
+  Status OnInputEntry(size_t run_idx, const lsm::Record& record,
+                      std::string_view core) override {
+    if (run_idx >= inputs_.size()) {
+      return Status::InvalidArgument("input run index out of range");
+    }
+    if (inputs_[run_idx].meta != nullptr) {
+      inputs_[run_idx].digester.Add(record, core);
+    }
+    return Status::Ok();
+  }
+
+  Status OnInputRunEnd(size_t run_idx) override {
+    if (run_idx >= inputs_.size()) {
+      return Status::InvalidArgument("input run index out of range");
+    }
+    InputState& input = inputs_[run_idx];
+    if (input.meta == nullptr) return Status::Ok();  // trusted memtable
+    return CheckDigest(input.digester.Finish(), *input.meta, input.depth);
+  }
+
+  Status OnOutputGroup(const std::vector<lsm::Record>& group,
+                       std::vector<std::string>* proof_blobs) override {
+    return seal_builder_.AddGroup(group, proof_blobs);
+  }
+
+  Result<lsm::CompactionSeal> OnOutputEnd() override {
+    return seal_builder_.Finish();
+  }
+
  private:
+  struct InputState {
+    explicit InputState(sgx::Enclave* enclave) : digester(enclave) {}
+    int depth = -1;
+    const lsm::LevelMeta* meta = nullptr;
+    RunDigester digester;
+  };
+
+  Status CheckDigest(const LevelDigest& digest, const lsm::LevelMeta& meta,
+                     int src_depth) const {
+    if (digest.root != meta.root || digest.leaf_count != meta.leaf_count) {
+      return Status::AuthFailure("compaction input digest mismatch at level " +
+                                 std::to_string(src_depth));
+    }
+    return Status::Ok();
+  }
+
   sgx::Enclave* enclave_;
   bool embed_full_paths_;
+  std::vector<InputState> inputs_;
+  SealBuilder seal_builder_{nullptr};
 };
 
 }  // namespace elsm::auth

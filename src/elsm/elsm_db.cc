@@ -23,6 +23,7 @@ lsm::LsmOptions MakeEngineOptions(const Options& o) {
   eo.bloom_bits_per_key = o.bloom_bits_per_key;
   eo.use_bloom = o.use_bloom;
   eo.compaction_enabled = o.compaction_enabled;
+  eo.background_compaction = o.background_compaction;
   eo.read_buffer_bytes = o.read_buffer_bytes;
   switch (o.mode) {
     case Mode::kP1:
@@ -63,6 +64,10 @@ ElsmDb::ElsmDb(const Options& options, std::shared_ptr<storage::SimFs> fs,
   }
   assembler_ = std::make_unique<auth::ProofAssembler>(fs_);
   verifier_ = auth::Verifier(enclave_.get());
+  if (options_.background_compaction) {
+    engine_->SetCompactionCallback(
+        [this] { return PersistAfterBackgroundCompaction(); });
+  }
 }
 
 ElsmDb::~ElsmDb() {
@@ -219,9 +224,44 @@ Status ElsmDb::UntransformRecord(lsm::Record* record) const {
   return Status::Ok();
 }
 
-Status ElsmDb::FlushIfNeeded() {
-  if (engine_->memtable_bytes() < options_.memtable_bytes) return Status::Ok();
-  return FlushLocked();
+Status ElsmDb::FlushInternal(bool only_if_full) {
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  if (options_.background_compaction) {
+    // Drain the engine thread before taking db_mu_, so readers only ever
+    // wait behind the bounded memtable->L1 merge, never a deep ripple.
+    engine_->WaitForCompaction();
+  }
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  if (only_if_full && engine_->memtable_bytes() < options_.memtable_bytes) {
+    return Status::Ok();  // another writer flushed while we queued
+  }
+  Status s = engine_->Flush();
+  if (!s.ok()) return s;
+  if (!options_.background_compaction) {
+    s = engine_->MaybeCompact();
+    if (!s.ok()) return s;
+  }
+  s = engine_->ResetWal();
+  if (!s.ok()) return s;
+  wal_digest_.Reset();
+  if (options_.persist_manifest_on_flush) {
+    s = PersistManifest();
+    if (!s.ok()) return s;
+  }
+  lock.unlock();
+  if (options_.background_compaction) engine_->ScheduleCompaction();
+  return Status::Ok();
+}
+
+Status ElsmDb::PersistAfterBackgroundCompaction() {
+  // Durability catch-up: the ripple changed the level stack after the
+  // flush-time manifest. Skipped when flush-time persistence is off (the
+  // bench configuration) — Close() still writes the final manifest. A
+  // failure here surfaces through WaitForCompaction().
+  if (!options_.persist_manifest_on_flush) return Status::Ok();
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  if (closed_) return Status::Ok();
+  return PersistManifest();
 }
 
 void ElsmDb::RecordOpStat(Histogram OpStats::*h, uint64_t latency_ns) {
@@ -230,66 +270,84 @@ void ElsmDb::RecordOpStat(Histogram OpStats::*h, uint64_t latency_ns) {
 }
 
 Status ElsmDb::Put(std::string_view key, std::string_view value) {
-  std::unique_lock<std::shared_mutex> lock(db_mu_);
   const uint64_t start = enclave_->now_ns();
-  enclave_->ChargeEcall();
-  lsm::Record record;
-  record.ts = ++last_ts_;
-  record.key = TransformKey(key);
-  record.value = TransformValue(value, record.ts);
-  record.type = lsm::RecordType::kValue;
+  bool need_flush = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    enclave_->ChargeEcall();
+    lsm::Record record;
+    record.ts = ++last_ts_;
+    record.key = TransformKey(key);
+    record.value = TransformValue(value, record.ts);
+    record.type = lsm::RecordType::kValue;
 
-  const std::string core = record.EncodeCore();
-  enclave_->ChargeHash(core.size() + 32);
-  wal_digest_.Append(core);
+    const std::string core = record.EncodeCore();
+    enclave_->ChargeHash(core.size() + 32);
+    wal_digest_.Append(core);
 
-  Status s = engine_->Put(std::move(record));
-  if (!s.ok()) return s;
-  s = FlushIfNeeded();
+    Status s = engine_->Put(std::move(record));
+    if (!s.ok()) return s;
+    need_flush = engine_->memtable_bytes() >= options_.memtable_bytes;
+  }
+  Status s = need_flush ? FlushInternal(/*only_if_full=*/true) : Status::Ok();
   RecordOpStat(&OpStats::put, enclave_->now_ns() - start);
   return s;
 }
 
 Status ElsmDb::Delete(std::string_view key) {
-  std::unique_lock<std::shared_mutex> lock(db_mu_);
   const uint64_t start = enclave_->now_ns();
-  enclave_->ChargeEcall();
-  lsm::Record record;
-  record.ts = ++last_ts_;
-  record.key = TransformKey(key);
-  record.type = lsm::RecordType::kTombstone;
+  bool need_flush = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    enclave_->ChargeEcall();
+    lsm::Record record;
+    record.ts = ++last_ts_;
+    record.key = TransformKey(key);
+    record.type = lsm::RecordType::kTombstone;
 
-  const std::string core = record.EncodeCore();
-  enclave_->ChargeHash(core.size() + 32);
-  wal_digest_.Append(core);
+    const std::string core = record.EncodeCore();
+    enclave_->ChargeHash(core.size() + 32);
+    wal_digest_.Append(core);
 
-  Status s = engine_->Put(std::move(record));
-  if (!s.ok()) return s;
-  s = FlushIfNeeded();
+    Status s = engine_->Put(std::move(record));
+    if (!s.ok()) return s;
+    need_flush = engine_->memtable_bytes() >= options_.memtable_bytes;
+  }
+  Status s = need_flush ? FlushInternal(/*only_if_full=*/true) : Status::Ok();
   RecordOpStat(&OpStats::put, enclave_->now_ns() - start);
   return s;
 }
 
 Status ElsmDb::Write(const WriteBatch& batch) {
-  std::unique_lock<std::shared_mutex> lock(db_mu_);
   const uint64_t start = enclave_->now_ns();
-  enclave_->ChargeEcall();
-  for (const WriteBatch::Entry& entry : batch.entries) {
-    lsm::Record record;
-    record.ts = ++last_ts_;
-    record.key = TransformKey(entry.key);
-    if (entry.is_delete) {
-      record.type = lsm::RecordType::kTombstone;
-    } else {
-      record.value = TransformValue(entry.value, record.ts);
+  bool need_flush = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    enclave_->ChargeEcall();
+    // Group commit: transform + digest every entry under the one lock
+    // acquisition, then hand the whole batch to the engine as a single
+    // WAL append (one world switch) and memtable pass.
+    std::vector<lsm::Record> records;
+    records.reserve(batch.entries.size());
+    for (const WriteBatch::Entry& entry : batch.entries) {
+      lsm::Record record;
+      record.ts = ++last_ts_;
+      record.key = TransformKey(entry.key);
+      if (entry.is_delete) {
+        record.type = lsm::RecordType::kTombstone;
+      } else {
+        record.value = TransformValue(entry.value, record.ts);
+      }
+      const std::string core = record.EncodeCore();
+      enclave_->ChargeHash(core.size() + 32);
+      wal_digest_.Append(core);
+      records.push_back(std::move(record));
     }
-    const std::string core = record.EncodeCore();
-    enclave_->ChargeHash(core.size() + 32);
-    wal_digest_.Append(core);
-    Status s = engine_->Put(std::move(record));
+    Status s = engine_->PutBatch(std::move(records));
     if (!s.ok()) return s;
+    need_flush = engine_->memtable_bytes() >= options_.memtable_bytes;
   }
-  Status s = FlushIfNeeded();
+  Status s = need_flush ? FlushInternal(/*only_if_full=*/true) : Status::Ok();
   RecordOpStat(&OpStats::put, enclave_->now_ns() - start);
   return s;
 }
@@ -316,11 +374,15 @@ Result<ElsmDb::VerifiedRecord> ElsmDb::GetVerified(std::string_view key,
   VerifiedRecord out;
   if (options_.mode == Mode::kP2 && options_.authenticate_data &&
       options_.verify_reads) {
-    auto assembled = assembler_->AssembleGet(resp.value(), engine_->levels());
+    // Assemble and verify against the snapshot the lookup ran on — the live
+    // stack may already belong to a newer version mid-compaction.
+    const std::vector<lsm::LevelMeta>& levels =
+        resp.value().snapshot->levels();
+    auto assembled = assembler_->AssembleGet(resp.value(), levels);
     if (!assembled.ok()) return assembled.status();
     out.proof_bytes = assembled.value().proof_bytes;
-    auto verified = verifier_.VerifyGet(lookup_key, ts_max, assembled.value(),
-                                        engine_->levels());
+    auto verified =
+        verifier_.VerifyGet(lookup_key, ts_max, assembled.value(), levels);
     if (!verified.ok()) return verified.status();
     out.record = std::move(verified).value();
     out.verified = true;
@@ -372,15 +434,16 @@ Result<std::vector<lsm::Record>> ElsmDb::Scan(std::string_view k1,
   std::vector<lsm::Record> records;
   if (options_.mode == Mode::kP2 && options_.authenticate_data &&
       options_.verify_reads) {
-    auto assembled = assembler_->AssembleScan(resp.value(), engine_->levels());
+    const std::vector<lsm::LevelMeta>& levels =
+        resp.value().snapshot->levels();
+    auto assembled = assembler_->AssembleScan(resp.value(), levels);
     if (!assembled.ok()) return assembled.status();
     {
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
       op_stats_.proof_bytes += assembled.value().proof_bytes;
       ++op_stats_.verified_ops;
     }
-    auto verified =
-        verifier_.VerifyScan(lo, hi, assembled.value(), engine_->levels());
+    auto verified = verifier_.VerifyScan(lo, hi, assembled.value(), levels);
     if (!verified.ok()) return verified.status();
     records = std::move(verified).value();
   } else {
@@ -404,24 +467,11 @@ Result<std::vector<lsm::Record>> ElsmDb::Scan(std::string_view k1,
   return records;
 }
 
-Status ElsmDb::FlushLocked() {
-  Status s = engine_->Flush();
-  if (!s.ok()) return s;
-  s = engine_->MaybeCompact();
-  if (!s.ok()) return s;
-  s = engine_->ResetWal();
-  if (!s.ok()) return s;
-  wal_digest_.Reset();
-  if (!options_.persist_manifest_on_flush) return Status::Ok();
-  return PersistManifest();
-}
-
-Status ElsmDb::Flush() {
-  std::unique_lock<std::shared_mutex> lock(db_mu_);
-  return FlushLocked();
-}
+Status ElsmDb::Flush() { return FlushInternal(/*only_if_full=*/false); }
 
 Status ElsmDb::CompactAll() {
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  if (options_.background_compaction) engine_->WaitForCompaction();
   std::unique_lock<std::shared_mutex> lock(db_mu_);
   Status s = engine_->Flush();
   if (!s.ok()) return s;
@@ -433,7 +483,23 @@ Status ElsmDb::CompactAll() {
   return PersistManifest();
 }
 
+void ElsmDb::ScheduleCompaction() { engine_->ScheduleCompaction(); }
+
+Status ElsmDb::WaitForCompaction() {
+  engine_->WaitForCompaction();
+  return engine_->TakeBackgroundStatus();
+}
+
 Status ElsmDb::Close() {
+  {
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    if (closed_) return Status::Ok();
+  }
+  // Serialize with in-flight flushes, then stop the engine thread before
+  // the final manifest so no compaction (background or a racing flusher's
+  // schedule) can run after it is written.
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  engine_->StopBackgroundCompaction();
   std::unique_lock<std::shared_mutex> lock(db_mu_);
   if (closed_) return Status::Ok();
   closed_ = true;

@@ -94,9 +94,17 @@ class ElsmDb {
   Result<std::vector<lsm::Record>> Scan(std::string_view k1,
                                         std::string_view k2);
 
-  // Flush L0 + ripple compaction + persist the sealed manifest.
+  // Flush L0 + ripple compaction + persist the sealed manifest. With
+  // background_compaction the ripple is scheduled on the engine thread
+  // instead of running inline, so the exclusive section stays bounded by
+  // the memtable->L1 merge.
   Status Flush();
   Status CompactAll();
+  // Background-compaction hooks: request a ripple pass (inline when the
+  // option is off) / drain the engine thread and surface any error a pass
+  // or its manifest persist hit (immediately Ok when it is off).
+  void ScheduleCompaction();
+  Status WaitForCompaction();
   // Persist and stop; the SimFs/platform can be reused to reopen.
   Status Close();
 
@@ -124,8 +132,13 @@ class ElsmDb {
 
   Status Recover();
   Status PersistManifest();
-  Status FlushLocked();  // requires db_mu_ held exclusively
-  Status FlushIfNeeded();
+  // The one flush path: serializes flushers, drains the engine thread
+  // *before* taking db_mu_ (so readers are never blocked behind a deep
+  // merge), flushes, and schedules/runs the ripple per the options.
+  Status FlushInternal(bool only_if_full);
+  // Engine-thread callback: re-persists the manifest after a ripple pass;
+  // errors surface through WaitForCompaction().
+  Status PersistAfterBackgroundCompaction();
   void RecordOpStat(Histogram OpStats::*h, uint64_t latency_ns);
   std::string manifest_name() const { return options_.name + "/MANIFEST"; }
 
@@ -147,10 +160,13 @@ class ElsmDb {
   auth::Verifier verifier_;
   auth::WalDigest wal_digest_;
 
-  // Facade-level reader/writer lock (paper §5.5.2 multi-threading): writes,
-  // flushes and compactions are exclusive; verified reads share, so a read
-  // always assembles and verifies against one consistent level snapshot.
+  // Facade-level reader/writer lock (paper §5.5.2 multi-threading): writes
+  // and flushes are exclusive; verified reads share. Reads verify against
+  // the engine-response *snapshot*, so background compaction never holds
+  // this lock — a GET issued mid-merge completes without waiting for it.
   mutable std::shared_mutex db_mu_;
+  // Serializes flushers so the engine-thread drain happens outside db_mu_.
+  std::mutex flush_mu_;
   mutable std::mutex stats_mu_;
 
   uint64_t last_ts_ = 0;

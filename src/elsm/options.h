@@ -30,6 +30,10 @@ struct Options {
   int bloom_bits_per_key = 10;
   bool use_bloom = true;
   bool compaction_enabled = true;
+  // Run ripple compaction on the engine's background thread: flushes
+  // schedule it and return, so reads never wait for a deep merge. Drive
+  // deterministically with ScheduleCompaction()/WaitForCompaction().
+  bool background_compaction = false;
 
   // --- read path (§5.5.1; ignored for P1, which always uses an in-enclave
   //     user-space buffer) ---------------------------------------------------

@@ -25,6 +25,8 @@ LsmEngine::LsmEngine(LsmOptions options, std::shared_ptr<sgx::Enclave> enclave,
       enclave_(std::move(enclave)),
       fs_(std::move(fs)),
       memtable_(std::make_unique<SkipList>()),
+      tracker_(std::make_shared<FileTracker>(fs_)),
+      version_(std::make_shared<Version>(std::vector<LevelMeta>{}, tracker_)),
       wal_(fs_.get(), options_.name + "/wal") {
   memtable_region_ = enclave_->RegisterRegion(options_.memtable_bytes);
   metadata_region_ = enclave_->RegisterRegion(64 * 1024);
@@ -32,9 +34,14 @@ LsmEngine::LsmEngine(LsmOptions options, std::shared_ptr<sgx::Enclave> enclave,
     read_buffer_ = std::make_unique<storage::ReadBuffer>(
         enclave_, options_.read_buffer_bytes, options_.buffer_placement);
   }
+  if (options_.background_compaction) {
+    bg_started_ = true;
+    bg_thread_ = std::thread(&LsmEngine::BackgroundLoop, this);
+  }
 }
 
 LsmEngine::~LsmEngine() {
+  StopBackgroundCompaction();
   enclave_->FreeRegion(memtable_region_);
   enclave_->FreeRegion(metadata_region_);
 }
@@ -47,8 +54,9 @@ uint64_t LsmEngine::LevelCapacity(size_t pos) const {
 
 std::string LsmEngine::NewFileName(const char* suffix) {
   char buf[32];
+  const uint64_t no = next_file_no_.fetch_add(1, std::memory_order_relaxed);
   std::snprintf(buf, sizeof(buf), "/%06llu%s",
-                static_cast<unsigned long long>(next_file_no_++), suffix);
+                static_cast<unsigned long long>(no), suffix);
   return options_.name + buf;
 }
 
@@ -57,10 +65,19 @@ void LsmEngine::ChargeMetadataAccess(size_t level_pos) const {
                          64);
 }
 
-void LsmEngine::RefreshMetadataFootprint() {
+void LsmEngine::RefreshMetadataFootprint(const std::vector<LevelMeta>& levels) {
   uint64_t bytes = 4096;
-  for (const LevelMeta& level : levels_) bytes += level.MetadataBytes();
+  for (const LevelMeta& level : levels) bytes += level.MetadataBytes();
   enclave_->ResizeRegion(metadata_region_, bytes);
+}
+
+std::shared_ptr<const Version> LsmEngine::SnapshotVersion() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return version_;
+}
+
+std::shared_ptr<const Version> LsmEngine::current_version() const {
+  return SnapshotVersion();
 }
 
 Status LsmEngine::Put(Record record) {
@@ -80,30 +97,57 @@ Status LsmEngine::Put(Record record) {
   return Status::Ok();
 }
 
-Result<GetResponse> LsmEngine::Get(std::string_view key, uint64_t ts_max) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  stats_.gets.fetch_add(1, std::memory_order_relaxed);
-  GetResponse resp;
+Status LsmEngine::PutBatch(std::vector<Record> records) {
+  if (records.empty()) return Status::Ok();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  stats_.puts += records.size();
+  std::vector<std::string> cores;
+  cores.reserve(records.size());
+  for (const Record& record : records) cores.push_back(record.EncodeCore());
+  // w3, group commit: one WAL append (one world switch) covers the batch.
+  Status s = wal_.AppendBatch(cores);
+  if (!s.ok()) return s;
+  for (Record& record : records) {
+    const uint64_t size = record.ByteSize() + 64;
+    enclave_->AccessRegion(memtable_region_,
+                           memtable_used_ % options_.memtable_bytes, size);
+    memtable_used_ += record.ByteSize() + 32;
+    memtable_->Insert(std::move(record));
+  }
+  return Status::Ok();
+}
 
-  // L0: the in-enclave memtable is trusted; a hit stops the search.
-  enclave_->AccessRegion(memtable_region_,
-                         KeyProbe(key) % options_.memtable_bytes, 128);
-  if (const Record* r = memtable_->Find(key, ts_max)) {
-    resp.memtable_hit = *r;
-    return resp;
+Result<GetResponse> LsmEngine::Get(std::string_view key, uint64_t ts_max) {
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  PurgeDeadCaches();
+  GetResponse resp;
+  {
+    // L0: the in-enclave memtable is trusted; a hit stops the search. The
+    // shared lock covers only this probe plus the snapshot grab — the level
+    // search below runs lock-free against the immutable snapshot.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    enclave_->AccessRegion(memtable_region_,
+                           KeyProbe(key) % options_.memtable_bytes, 128);
+    if (const Record* r = memtable_->Find(key, ts_max)) {
+      resp.memtable_hit = *r;
+      resp.snapshot = version_;
+      return resp;
+    }
+    resp.snapshot = version_;
   }
 
-  for (size_t i = 0; i < levels_.size(); ++i) {
+  const std::vector<LevelMeta>& levels = resp.snapshot->levels();
+  for (size_t i = 0; i < levels.size(); ++i) {
     ChargeMetadataAccess(i);
     LevelGetResult lr;
     lr.level_pos = i;
-    if (levels_[i].files.empty() ||
-        (options_.use_bloom && !levels_[i].bloom.MayContain(key))) {
+    if (levels[i].files.empty() ||
+        (options_.use_bloom && !levels[i].bloom.MayContain(key))) {
       lr.bloom_negative = true;
       resp.levels.push_back(std::move(lr));
       continue;
     }
-    Status s = LookupInLevel(levels_[i], key, ts_max, &lr);
+    Status s = LookupInLevel(levels[i], key, ts_max, &lr);
     if (!s.ok()) return s;
     const bool stop = lr.found;
     resp.levels.push_back(std::move(lr));
@@ -115,13 +159,21 @@ Result<GetResponse> LsmEngine::Get(std::string_view key, uint64_t ts_max) {
 Result<std::shared_ptr<const std::string>> LsmEngine::ReadBlock(
     const FileMeta& file, const BlockHandle& block) const {
   if (options_.read_path == ReadPathKind::kMmap) {
-    auto it = mmaps_.find(file.name);
-    if (it == mmaps_.end()) {
-      auto region = storage::MmapRegion::Open(*fs_, file.name);
-      if (!region.ok()) return region.status();
-      it = mmaps_.emplace(file.name, std::move(region).value()).first;
+    // Find-or-open under the cache lock, then copy the region handle out (it
+    // only pins a blob) so the read + block copy run without serializing
+    // concurrent readers.
+    std::optional<storage::MmapRegion> region;
+    {
+      std::lock_guard<std::mutex> lock(mmaps_mu_);
+      auto it = mmaps_.find(file.name);
+      if (it == mmaps_.end()) {
+        auto opened = storage::MmapRegion::Open(*fs_, file.name);
+        if (!opened.ok()) return opened.status();
+        it = mmaps_.emplace(file.name, std::move(opened).value()).first;
+      }
+      region = it->second;
     }
-    auto view = it->second.Read(block.offset, block.size);
+    auto view = region->Read(block.offset, block.size);
     if (!view.ok()) return view.status();
     auto bytes = std::make_shared<const std::string>(view.value());
     if (options_.protect_blocks) {
@@ -149,30 +201,34 @@ Result<std::shared_ptr<const std::string>> LsmEngine::ReadBlock(
   return read_buffer_->Get(file.name, block.offset, loader);
 }
 
-Result<std::vector<RawEntry>> LsmEngine::ReadParsedBlock(
+Result<LsmEngine::ParsedBlock> LsmEngine::ReadParsedBlock(
     const FileMeta& file, const BlockHandle& block) const {
   auto bytes = ReadBlock(file, block);
   if (!bytes.ok()) return bytes.status();
-  return ParseBlock(*bytes.value());
+  ParsedBlock out;
+  out.backing = std::move(bytes).value();
+  Status s = ParseBlockInto(*out.backing, block.num_entries, &out.entries);
+  if (!s.ok()) return s;
+  return out;
 }
 
 Result<RawEntry> LsmEngine::FirstHead(const FileMeta& file) const {
-  auto entries = ReadParsedBlock(file, file.blocks.front());
-  if (!entries.ok()) return entries.status();
-  if (entries.value().empty()) return Status::Corruption("empty block");
-  return entries.value().front();
+  auto parsed = ReadParsedBlock(file, file.blocks.front());
+  if (!parsed.ok()) return parsed.status();
+  if (parsed.value().entries.empty()) return Status::Corruption("empty block");
+  return MaterializeEntry(parsed.value().entries.front());
 }
 
 Result<RawEntry> LsmEngine::LastHead(const FileMeta& file) const {
-  auto entries = ReadParsedBlock(file, file.blocks.back());
-  if (!entries.ok()) return entries.status();
-  auto& v = entries.value();
+  auto parsed = ReadParsedBlock(file, file.blocks.back());
+  if (!parsed.ok()) return parsed.status();
+  const auto& v = parsed.value().entries;
   if (v.empty()) return Status::Corruption("empty block");
   // Walk back from the last entry to its group head (groups never straddle
   // blocks, so the head is in this block).
   size_t i = v.size() - 1;
   while (i > 0 && v[i - 1].record.key == v[i].record.key) --i;
-  return v[i];
+  return MaterializeEntry(v[i]);
 }
 
 Status LsmEngine::LookupInLevel(const LevelMeta& level, std::string_view key,
@@ -229,7 +285,7 @@ Status LsmEngine::LookupInLevel(const LevelMeta& level, std::string_view key,
 
   auto parsed = ReadParsedBlock(file, file.blocks[bi]);
   if (!parsed.ok()) return parsed.status();
-  const std::vector<RawEntry>& entries = parsed.value();
+  const std::vector<BlockEntry>& entries = parsed.value().entries;
 
   // Find the key's group.
   size_t g = 0;
@@ -239,11 +295,11 @@ Status LsmEngine::LookupInLevel(const LevelMeta& level, std::string_view key,
     size_t i = g;
     while (i < entries.size() && entries[i].record.key == key &&
            entries[i].record.ts > ts_max) {
-      out->chain.push_back(entries[i]);
+      out->chain.push_back(MaterializeEntry(entries[i]));
       ++i;
     }
     if (i < entries.size() && entries[i].record.key == key) {
-      out->chain.push_back(entries[i]);
+      out->chain.push_back(MaterializeEntry(entries[i]));
       out->found = true;  // visible version located
     }
     return Status::Ok();
@@ -254,7 +310,7 @@ Status LsmEngine::LookupInLevel(const LevelMeta& level, std::string_view key,
     // Group head of the last key below `key` (head is in this block).
     size_t j = g - 1;
     while (j > 0 && entries[j - 1].record.key == entries[j].record.key) --j;
-    out->pred = entries[j];
+    out->pred = MaterializeEntry(entries[j]);
   } else {
     // key < every entry although first_key <= key cannot happen; guard
     // against corrupted metadata by bracketing with the previous file.
@@ -265,12 +321,12 @@ Status LsmEngine::LookupInLevel(const LevelMeta& level, std::string_view key,
     }
   }
   if (g < entries.size()) {
-    out->succ = entries[g];  // first entry above `key` is a group head
+    out->succ = MaterializeEntry(entries[g]);  // first entry above `key`
   } else if (bi + 1 < file.blocks.size()) {
     auto next = ReadParsedBlock(file, file.blocks[bi + 1]);
     if (!next.ok()) return next.status();
-    if (next.value().empty()) return Status::Corruption("empty block");
-    out->succ = next.value().front();
+    if (next.value().entries.empty()) return Status::Corruption("empty block");
+    out->succ = MaterializeEntry(next.value().entries.front());
   } else if (fi + 1 < files.size()) {
     auto succ = FirstHead(files[fi + 1]);
     if (!succ.ok()) return succ.status();
@@ -281,29 +337,34 @@ Status LsmEngine::LookupInLevel(const LevelMeta& level, std::string_view key,
 
 Result<ScanResponse> LsmEngine::Scan(std::string_view k1,
                                      std::string_view k2) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
   stats_.scans.fetch_add(1, std::memory_order_relaxed);
+  PurgeDeadCaches();
   ScanResponse resp;
-
-  // L0: trusted scan of the memtable (newest visible version per key).
-  enclave_->AccessRegion(memtable_region_, 0, options_.memtable_bytes / 4);
-  std::string last_key;
-  bool have_last = false;
-  for (auto it = memtable_->NewIterator(); it.Valid(); it.Next()) {
-    const Record& r = it.record();
-    if (r.key < k1 || (have_last && r.key == last_key)) continue;
-    if (r.key > k2) break;
-    resp.memtable_records.push_back(r);
-    last_key = r.key;
-    have_last = true;
+  {
+    // L0: trusted scan of the memtable (newest visible version per key);
+    // the level walk below is lock-free against the snapshot.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    enclave_->AccessRegion(memtable_region_, 0, options_.memtable_bytes / 4);
+    std::string last_key;
+    bool have_last = false;
+    for (auto it = memtable_->NewIterator(); it.Valid(); it.Next()) {
+      const Record& r = it.record();
+      if (r.key < k1 || (have_last && r.key == last_key)) continue;
+      if (r.key > k2) break;
+      resp.memtable_records.push_back(r);
+      last_key = r.key;
+      have_last = true;
+    }
+    resp.snapshot = version_;
   }
 
-  for (size_t i = 0; i < levels_.size(); ++i) {
+  const std::vector<LevelMeta>& levels = resp.snapshot->levels();
+  for (size_t i = 0; i < levels.size(); ++i) {
     ChargeMetadataAccess(i);
     LevelScanResult lr;
     lr.level_pos = i;
-    if (!levels_[i].files.empty()) {
-      Status s = ScanInLevel(levels_[i], k1, k2, &lr);
+    if (!levels[i].files.empty()) {
+      Status s = ScanInLevel(levels[i], k1, k2, &lr);
       if (!s.ok()) return s;
     }
     resp.levels.push_back(std::move(lr));
@@ -370,17 +431,17 @@ Status LsmEngine::ScanInLevel(const LevelMeta& level, std::string_view k1,
     for (size_t b = (f == fi ? bi : 0); b < files[f].blocks.size(); ++b) {
       auto parsed = ReadParsedBlock(files[f], files[f].blocks[b]);
       if (!parsed.ok()) return parsed.status();
-      for (const RawEntry& e : parsed.value()) {
+      for (const BlockEntry& e : parsed.value().entries) {
         const bool is_head = !have_prev || e.record.key != prev_key;
         prev_key = e.record.key;
         have_prev = true;
         if (!is_head) continue;
         if (e.record.key < k1) {
-          out->pred = e;
+          out->pred = MaterializeEntry(e);
         } else if (e.record.key <= k2) {
-          out->heads.push_back(e);
+          out->heads.push_back(MaterializeEntry(e));
         } else {
-          out->succ = e;
+          out->succ = MaterializeEntry(e);
           return Status::Ok();
         }
       }
@@ -389,300 +450,605 @@ Status LsmEngine::ScanInLevel(const LevelMeta& level, std::string_view k1,
   return Status::Ok();
 }
 
-Result<std::vector<RawEntry>> LsmEngine::LoadLevel(
-    const LevelMeta& level) const {
-  std::vector<RawEntry> run;
-  run.reserve(level.num_records);
-  for (const FileMeta& file : level.files) {
-    // m1: OCall to load the input file into untrusted memory, then the
-    // enclave streams it.
-    enclave_->ChargeOcall();
-    auto bytes = fs_->ReadAll(file.name);
-    if (!bytes.ok()) return bytes.status();
-    enclave_->UntrustedRead(bytes.value().size());
-    for (const BlockHandle& block : file.blocks) {
-      if (block.offset + block.size > bytes.value().size()) {
-        return Status::Corruption("block beyond file");
-      }
-      const std::string_view view(bytes.value().data() + block.offset,
-                                  block.size);
-      if (options_.protect_blocks) {
-        enclave_->ChargeCipher(view.size());  // one-pass AES-GCM
-        Status s = VerifyBlockMac(view, options_.mac_key, block.mac);
-        if (!s.ok()) return s;
-      }
-      auto parsed = ParseBlock(view);
-      if (!parsed.ok()) return parsed.status();
-      for (RawEntry& e : parsed.value()) run.push_back(std::move(e));
-    }
-  }
-  return run;
-}
+// ---------------------------------------------------------------------------
+// Compaction.
+// ---------------------------------------------------------------------------
 
 Status LsmEngine::Flush() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (memtable_->empty()) return Status::Ok();
-  ++stats_.flushes;
-
-  std::vector<RawEntry> run;
-  run.reserve(memtable_->size());
-  for (auto it = memtable_->NewIterator(); it.Valid(); it.Next()) {
-    RawEntry e;
-    e.record = it.record();
-    e.core = e.record.EncodeCore();
-    run.push_back(std::move(e));
-  }
-  // w2: stream the sorted buffer out of the enclave.
-  enclave_->AccessRegion(memtable_region_, 0, memtable_used_);
-
-  const bool as_new_level = !options_.compaction_enabled;
-  Status s = MergeRuns(std::move(run), /*upper_depth=*/-1, /*target_pos=*/0,
-                       as_new_level);
-  if (!s.ok()) return s;
-  memtable_ = std::make_unique<SkipList>();
-  memtable_used_ = 0;
-  return Status::Ok();
+  std::lock_guard<std::mutex> cl(compaction_mu_);
+  return FlushInternal();
 }
 
 Status LsmEngine::MaybeCompact() {
   if (!options_.compaction_enabled) return Status::Ok();
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  for (size_t i = 0; i < levels_.size(); ++i) {
-    if (levels_[i].bytes <= LevelCapacity(i)) continue;
-    auto upper = LoadLevel(levels_[i]);
-    if (!upper.ok()) return upper.status();
-    Status s = MergeRuns(std::move(upper).value(), static_cast<int>(i), i + 1,
-                         /*insert_as_new=*/false);
+  std::lock_guard<std::mutex> cl(compaction_mu_);
+  return MaybeCompactInternal();
+}
+
+Status LsmEngine::CompactAll() {
+  std::lock_guard<std::mutex> cl(compaction_mu_);
+  return CompactAllInternal();
+}
+
+Status LsmEngine::FlushInternal() {
+  if (memtable_->empty()) return Status::Ok();
+  stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<RawEntry> run;
+  {
+    // Writers are quiesced by the caller (facade holds its write lock); the
+    // shared lock still fences engine-level users racing Put against Flush.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    run.reserve(memtable_->size());
+    for (auto it = memtable_->NewIterator(); it.Valid(); it.Next()) {
+      RawEntry e;
+      e.record = it.record();
+      e.core = e.record.EncodeCore();
+      run.push_back(std::move(e));
+    }
+  }
+  // w2: stream the sorted buffer out of the enclave.
+  enclave_->AccessRegion(memtable_region_, 0, memtable_used_);
+
+  MergeSource source;
+  source.depth = -1;
+  source.run = std::move(run);
+  std::vector<MergeSource> sources;
+  sources.push_back(std::move(source));
+  const bool as_new_level = !options_.compaction_enabled;
+  return CompactStep(std::move(sources), /*target_pos=*/0, as_new_level,
+                     /*reset_memtable=*/true);
+}
+
+Status LsmEngine::MaybeCompactInternal() {
+  for (size_t i = 0;; ++i) {
+    auto base = SnapshotVersion();
+    if (i >= base->levels().size()) break;
+    if (base->levels()[i].bytes <= LevelCapacity(i)) continue;
+    std::vector<MergeSource> sources(1);
+    sources[0].depth = static_cast<int>(i);
+    Status s = CompactStep(std::move(sources), i + 1, /*insert_as_new=*/false,
+                           /*reset_memtable=*/false);
     if (!s.ok()) return s;
   }
   return Status::Ok();
 }
 
-Status LsmEngine::CompactAll() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+Status LsmEngine::CompactAllInternal() {
   while (true) {
+    auto base = SnapshotVersion();
+    const auto& levels = base->levels();
     // Find the shallowest non-empty level with something below it.
-    size_t first = levels_.size();
-    for (size_t i = 0; i < levels_.size(); ++i) {
-      if (!levels_[i].files.empty()) {
+    size_t first = levels.size();
+    for (size_t i = 0; i < levels.size(); ++i) {
+      if (!levels[i].files.empty()) {
         first = i;
         break;
       }
     }
-    if (first >= levels_.size()) return Status::Ok();
+    if (first >= levels.size()) return Status::Ok();
     bool deeper = false;
-    for (size_t j = first + 1; j < levels_.size(); ++j) {
-      if (!levels_[j].files.empty()) {
+    for (size_t j = first + 1; j < levels.size(); ++j) {
+      if (!levels[j].files.empty()) {
         deeper = true;
         break;
       }
     }
     if (!deeper) return Status::Ok();
-    auto upper = LoadLevel(levels_[first]);
-    if (!upper.ok()) return upper.status();
     // Merge into the next non-empty level.
     size_t target = first + 1;
-    while (target < levels_.size() && levels_[target].files.empty()) ++target;
-    Status s = MergeRuns(std::move(upper).value(), static_cast<int>(first),
-                         target, /*insert_as_new=*/false);
+    while (target < levels.size() && levels[target].files.empty()) ++target;
+    std::vector<MergeSource> sources(1);
+    sources[0].depth = static_cast<int>(first);
+    Status s = CompactStep(std::move(sources), target, /*insert_as_new=*/false,
+                           /*reset_memtable=*/false);
     if (!s.ok()) return s;
   }
 }
 
-Status LsmEngine::MergeRuns(std::vector<RawEntry> upper, int upper_depth,
-                            size_t target_pos, bool insert_as_new) {
-  ++stats_.compactions;
-  const bool target_exists = !insert_as_new && target_pos < levels_.size();
-
-  std::vector<RawEntry> lower;
-  if (target_exists && !levels_[target_pos].files.empty()) {
-    auto loaded = LoadLevel(levels_[target_pos]);
-    if (!loaded.ok()) return loaded.status();
-    lower = std::move(loaded).value();
+std::unique_ptr<RunIterator> LsmEngine::MakeSourceIterator(
+    const Version& base, MergeSource source) const {
+  if (source.depth < 0) {
+    return std::make_unique<VectorRunIterator>(std::move(source.run));
   }
+  const LevelMeta* level = &base.levels()[static_cast<size_t>(source.depth)];
+  auto opener = [this](const FileMeta& file)
+      -> Result<std::shared_ptr<const std::string>> {
+    // m1: OCall + map the input file; the enclave then streams its blocks
+    // straight from untrusted memory — no whole-level copy.
+    enclave_->ChargeOcall();
+    enclave_->ChargeMmapSetup();
+    auto blob = fs_->Blob(file.name);
+    if (blob == nullptr) return Status::IOError("no such file: " + file.name);
+    return blob;
+  };
+  auto check = [this](const FileMeta& file, const BlockHandle& block,
+                      std::string_view bytes) -> Status {
+    (void)file;
+    enclave_->UntrustedRead(bytes.size());
+    if (options_.protect_blocks) {
+      enclave_->ChargeCipher(bytes.size());  // one-pass AES-GCM
+      return VerifyBlockMac(bytes, options_.mac_key, block.mac);
+    }
+    return Status::Ok();
+  };
+  return std::make_unique<LevelRunIterator>(level, std::move(opener),
+                                            std::move(check));
+}
+
+void LsmEngine::UpdatePeakResident(uint64_t resident_bytes) {
+  uint64_t cur =
+      stats_.compaction_peak_resident_bytes.load(std::memory_order_relaxed);
+  while (resident_bytes > cur &&
+         !stats_.compaction_peak_resident_bytes.compare_exchange_weak(
+             cur, resident_bytes, std::memory_order_relaxed)) {
+  }
+}
+
+Status LsmEngine::StreamCompaction(const Version& base,
+                                   std::vector<MergeSource> sources,
+                                   std::vector<int> depths, bool to_bottom,
+                                   LevelBuild* build, CompactionSeal* seal) {
+  CompactionListener* listener = listener_;
+  if (listener != nullptr) {
+    Status s = listener->OnCompactionBegin(sources.size());
+    if (!s.ok()) return s;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      const LevelMeta* meta =
+          depths[i] >= 0 ? &base.levels()[static_cast<size_t>(depths[i])]
+                         : nullptr;
+      s = listener->OnInputRunBegin(i, depths[i], meta);
+      if (!s.ok()) return s;
+    }
+  }
+
+  MergeIterator::EntryTap tap;
+  MergeIterator::RunEnd run_end;
+  if (listener != nullptr) {
+    tap = [listener](size_t idx, const Record& record, std::string_view core) {
+      return listener->OnInputEntry(idx, record, core);
+    };
+    run_end = [listener](size_t idx) { return listener->OnInputRunEnd(idx); };
+  }
+
+  std::vector<std::unique_ptr<RunIterator>> runs;
+  runs.reserve(sources.size());
+  for (MergeSource& source : sources) {
+    runs.push_back(MakeSourceIterator(base, std::move(source)));
+  }
+  MergeIterator merge(std::move(runs), std::move(tap), std::move(run_end));
+  Status s = merge.Init();
+  if (!s.ok()) return s;
+
+  // m2: merge groupwise — the resident state is the parsed blocks at the
+  // head of each run plus one key group, never a whole level.
+  std::vector<Record> group;
+  std::vector<std::string> blobs;
+  while (merge.Valid()) {
+    group.clear();
+    const std::string group_key = merge.record().key;
+    uint64_t group_bytes = 0;
+    while (merge.Valid() && merge.record().key == group_key) {
+      Record r = merge.TakeAndAdvance();
+      group_bytes += r.ByteSize();
+      group.push_back(std::move(r));
+    }
+    if (!merge.status().ok()) return merge.status();
+    UpdatePeakResident(merge.resident_bytes() + group_bytes);
+
+    // Drop policy (§5.4): at the bottom, a tombstone-led group vanishes.
+    if (to_bottom && group.front().deleted()) continue;
+    if (!options_.keep_old_versions) group.resize(1);
+
+    enclave_->Copy(group.size() * 128, /*cross_boundary=*/false);
+    blobs.clear();
+    if (listener != nullptr) {
+      s = listener->OnOutputGroup(group, &blobs);
+      if (!s.ok()) return s;
+      if (!blobs.empty() && blobs.size() != group.size()) {
+        return Status::InvalidArgument("group proof count mismatch");
+      }
+    }
+    for (size_t j = 0; j < group.size(); ++j) {
+      s = AppendOutput(build, group[j],
+                       blobs.empty() ? std::string_view() : blobs[j]);
+      if (!s.ok()) return s;
+    }
+  }
+  if (!merge.status().ok()) return merge.status();
+
+  if (listener != nullptr) {
+    auto sealed = listener->OnOutputEnd();
+    if (!sealed.ok()) return sealed.status();
+    *seal = std::move(sealed).value();
+  }
+  return Status::Ok();
+}
+
+Status LsmEngine::BufferedCompaction(const Version& base,
+                                     std::vector<MergeSource> sources,
+                                     std::vector<int> depths, bool to_bottom,
+                                     LevelBuild* build, CompactionSeal* seal) {
+  // Legacy protocol: whole runs and the whole merged output materialize so
+  // OnInputRun/OnOutput see everything at once (required by listeners that
+  // embed full Merkle paths — the tree must be finished before any blob).
+  std::vector<std::vector<RawEntry>> run_data(sources.size());
+  uint64_t resident = 0;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (sources[i].depth < 0) {
+      run_data[i] = std::move(sources[i].run);
+    } else {
+      auto it = MakeSourceIterator(base, std::move(sources[i]));
+      Status s = it->Init();
+      if (!s.ok()) return s;
+      while (it->Valid()) {
+        RawEntry e;
+        e.core.assign(it->core());
+        e.proof_blob.assign(it->proof());
+        e.record = it->TakeRecord();
+        run_data[i].push_back(std::move(e));
+        s = it->Next();
+        if (!s.ok()) return s;
+      }
+    }
+    for (const RawEntry& e : run_data[i]) {
+      resident += e.record.ByteSize() + e.core.size() + e.proof_blob.size();
+    }
+  }
+  UpdatePeakResident(resident);
 
   // m2 step (a): authenticate the inputs read from the untrusted world.
   if (listener_ != nullptr) {
-    const LevelMeta* upper_meta =
-        upper_depth >= 0 ? &levels_[size_t(upper_depth)] : nullptr;
-    Status s = listener_->OnInputRun(upper_depth, upper, upper_meta);
-    if (!s.ok()) return s;
-    if (target_exists) {
-      s = listener_->OnInputRun(static_cast<int>(target_pos), lower,
-                                &levels_[target_pos]);
+    for (size_t i = 0; i < run_data.size(); ++i) {
+      const LevelMeta* meta =
+          depths[i] >= 0 ? &base.levels()[static_cast<size_t>(depths[i])]
+                         : nullptr;
+      Status s = listener_->OnInputRun(depths[i], run_data[i], meta);
       if (!s.ok()) return s;
     }
   }
-  stats_.compaction_bytes_in += upper.size() + lower.size();
 
-  // Merge the two sorted runs (key asc, ts desc); the upper run holds the
-  // newer records so on equal ordering it wins.
-  std::vector<Record> merged;
-  merged.reserve(upper.size() + lower.size());
-  InternalKeyLess less;
-  size_t a = 0, b = 0;
-  while (a < upper.size() || b < lower.size()) {
-    if (b >= lower.size() ||
-        (a < upper.size() && !less(lower[b].record, upper[a].record))) {
-      merged.push_back(std::move(upper[a].record));
-      ++a;
-    } else {
-      merged.push_back(std::move(lower[b].record));
-      ++b;
-    }
+  std::vector<std::unique_ptr<RunIterator>> runs;
+  runs.reserve(run_data.size());
+  uint64_t reserve = 0;
+  for (auto& rd : run_data) reserve += rd.size();
+  for (auto& rd : run_data) {
+    runs.push_back(std::make_unique<VectorRunIterator>(std::move(rd)));
   }
+  MergeIterator merge(std::move(runs), nullptr, nullptr);
+  Status s = merge.Init();
+  if (!s.ok()) return s;
 
-  // Drop policy: when the output is (or becomes) the deepest data, a key
-  // group whose newest record is a tombstone is physically dropped (§5.4).
-  const bool to_bottom =
-      insert_as_new ? levels_.empty()
-                    : (target_pos + 1 >= levels_.size() ||
-                       [&] {
-                         for (size_t j = target_pos + 1; j < levels_.size();
-                              ++j) {
-                           if (!levels_[j].files.empty()) return false;
-                         }
-                         return true;
-                       }());
   std::vector<Record> output;
-  output.reserve(merged.size());
-  for (size_t i = 0; i < merged.size();) {
-    size_t j = i;
-    while (j < merged.size() && merged[j].key == merged[i].key) ++j;
-    const bool drop_group = to_bottom && merged[i].deleted();
-    if (!drop_group) {
-      if (options_.keep_old_versions) {
-        for (size_t k = i; k < j; ++k) output.push_back(std::move(merged[k]));
-      } else {
-        output.push_back(std::move(merged[i]));
-      }
+  output.reserve(reserve);
+  std::vector<Record> group;
+  while (merge.Valid()) {
+    group.clear();
+    const std::string group_key = merge.record().key;
+    while (merge.Valid() && merge.record().key == group_key) {
+      group.push_back(merge.TakeAndAdvance());
     }
-    i = j;
+    if (!merge.status().ok()) return merge.status();
+    if (to_bottom && group.front().deleted()) continue;
+    if (!options_.keep_old_versions) group.resize(1);
+    for (Record& r : group) output.push_back(std::move(r));
   }
+  if (!merge.status().ok()) return merge.status();
+  uint64_t output_bytes = 0;
+  for (const Record& r : output) output_bytes += r.ByteSize();
+  UpdatePeakResident(resident + output_bytes);
   enclave_->Copy(output.size() * 128, /*cross_boundary=*/false);
 
   // m2 steps (b)+(c): digest the output and generate embedded proofs.
-  CompactionSeal seal;
   if (listener_ != nullptr) {
     auto sealed = listener_->OnOutput(output);
     if (!sealed.ok()) return sealed.status();
-    seal = std::move(sealed).value();
-    if (!seal.proof_blobs.empty() && seal.proof_blobs.size() != output.size()) {
+    *seal = std::move(sealed).value();
+    if (!seal->proof_blobs.empty() &&
+        seal->proof_blobs.size() != output.size()) {
       return Status::InvalidArgument("seal proof count mismatch");
     }
   }
+  for (size_t i = 0; i < output.size(); ++i) {
+    s = AppendOutput(build, output[i],
+                     seal->proof_blobs.empty() ? std::string_view()
+                                               : seal->proof_blobs[i]);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
 
-  LevelMeta fresh;
-  Status s = WriteLevel(output, seal, &fresh);
-  if (!s.ok()) return s;
-  stats_.compaction_bytes_out += output.size();
+Status LsmEngine::CompactStep(std::vector<MergeSource> sources,
+                              size_t target_pos, bool insert_as_new,
+                              bool reset_memtable) {
+  stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+  auto base = SnapshotVersion();
+  const std::vector<LevelMeta>& levels = base->levels();
+  const bool target_exists = !insert_as_new && target_pos < levels.size();
 
-  // m3: install the new level, drop the inputs.
-  if (target_exists) DropLevelFiles(levels_[target_pos]);
-  if (upper_depth >= 0) {
-    DropLevelFiles(levels_[size_t(upper_depth)]);
-    levels_[size_t(upper_depth)] = LevelMeta();  // now an empty level
+  std::vector<int> upper_depths;
+  std::vector<int> depths;
+  uint64_t input_entries = 0;
+  for (const MergeSource& source : sources) {
+    depths.push_back(source.depth);
+    if (source.depth >= 0) {
+      upper_depths.push_back(source.depth);
+      input_entries += levels[static_cast<size_t>(source.depth)].num_records;
+    } else {
+      input_entries += source.run.size();
+    }
+  }
+  if (target_exists) {
+    MergeSource target;
+    target.depth = static_cast<int>(target_pos);
+    depths.push_back(target.depth);
+    input_entries += levels[target_pos].num_records;
+    sources.push_back(std::move(target));
+  }
+  stats_.compaction_bytes_in.fetch_add(input_entries,
+                                       std::memory_order_relaxed);
+
+  // Drop policy applies when the output is (or becomes) the deepest data.
+  const bool to_bottom =
+      insert_as_new ? levels.empty()
+                    : (target_pos + 1 >= levels.size() ||
+                       [&] {
+                         for (size_t j = target_pos + 1; j < levels.size();
+                              ++j) {
+                           if (!levels[j].files.empty()) return false;
+                         }
+                         return true;
+                       }());
+
+  LevelBuild build(options_.block_bytes,
+                   options_.protect_blocks ? options_.mac_key : "");
+  build.level.bloom =
+      BloomFilter(options_.bloom_bits_per_key,
+                  std::max<uint64_t>(input_entries, 16));  // upper bound
+  CompactionSeal seal;
+  const bool streaming = listener_ == nullptr || listener_->streaming();
+  Status s = streaming
+                 ? StreamCompaction(*base, std::move(sources), depths,
+                                    to_bottom, &build, &seal)
+                 : BufferedCompaction(*base, std::move(sources), depths,
+                                      to_bottom, &build, &seal);
+  if (s.ok()) s = FinalizeLevel(&build, seal);
+  if (!s.ok()) {
+    AbortLevel(&build);
+    return s;
+  }
+  stats_.compaction_bytes_out.fetch_add(build.records_out,
+                                        std::memory_order_relaxed);
+
+  // m3: publish the new version; inputs retire through the file tracker
+  // once the last snapshot reading them dies.
+  std::vector<LevelMeta> new_levels = levels;
+  std::vector<std::string> obsolete;
+  auto retire = [&obsolete](const LevelMeta& level) {
+    for (const FileMeta& file : level.files) obsolete.push_back(file.name);
+    if (!level.tree_file.empty()) obsolete.push_back(level.tree_file);
+  };
+  if (target_exists) retire(levels[target_pos]);
+  for (int depth : upper_depths) {
+    retire(levels[static_cast<size_t>(depth)]);
+    new_levels[static_cast<size_t>(depth)] = LevelMeta();  // now empty
   }
   if (insert_as_new) {
-    levels_.insert(levels_.begin(), std::move(fresh));
+    new_levels.insert(new_levels.begin(), std::move(build.level));
   } else if (target_exists) {
-    levels_[target_pos] = std::move(fresh);
+    new_levels[target_pos] = std::move(build.level);
   } else {
-    levels_.insert(levels_.begin() + target_pos, std::move(fresh));
+    new_levels.insert(new_levels.begin() + target_pos, std::move(build.level));
   }
-  RefreshMetadataFootprint();
+  RefreshMetadataFootprint(new_levels);
+  InstallVersion(std::move(new_levels), reset_memtable, obsolete);
   return Status::Ok();
 }
 
-Status LsmEngine::WriteLevel(const std::vector<Record>& output,
-                             const CompactionSeal& seal, LevelMeta* out) {
-  LevelMeta level;
-  level.bloom = BloomFilter(options_.bloom_bits_per_key,
-                            std::max<uint64_t>(output.size(), 16));
-  level.root = seal.root;
-  level.leaf_count = seal.leaf_count;
-
-  SSTableBuilder builder(options_.block_bytes,
-                         options_.protect_blocks ? options_.mac_key : "");
-  auto finish_file = [&]() -> Status {
-    FileMeta meta;
-    std::string contents = builder.Finish(&meta);
-    if (contents.empty()) return Status::Ok();
-    meta.name = NewFileName(".sst");
-    if (options_.protect_blocks) {
-      // SDK-style whole-file encrypt + MAC (one-pass AES-GCM).
-      enclave_->ChargeCipher(contents.size());
-    }
-    enclave_->ChargeOcall();
-    enclave_->Copy(contents.size(), /*cross_boundary=*/true);
-    Status s = fs_->Write(meta.name, std::move(contents));
+Status LsmEngine::AppendOutput(LevelBuild* build, const Record& record,
+                               std::string_view proof_blob) {
+  if (build->builder.pending_bytes() >= options_.file_bytes &&
+      record.key != build->prev_key) {
+    Status s = FinishOutputFile(build);
     if (!s.ok()) return s;
-    level.bytes += meta.size;
-    level.num_records += meta.num_records;
-    if (listener_ != nullptr) listener_->OnTableFileCreated(meta);
-    level.files.push_back(std::move(meta));
-    return Status::Ok();
-  };
-
-  std::string prev_key;
-  for (size_t i = 0; i < output.size(); ++i) {
-    const Record& r = output[i];
-    if (builder.pending_bytes() >= options_.file_bytes && r.key != prev_key) {
-      Status s = finish_file();
-      if (!s.ok()) return s;
-    }
-    if (r.key != prev_key) level.bloom.Add(r.key);
-    builder.Add(r, seal.proof_blobs.empty() ? std::string_view()
-                                            : seal.proof_blobs[i]);
-    prev_key = r.key;
   }
-  Status s = finish_file();
+  if (record.key != build->prev_key) build->level.bloom.Add(record.key);
+  build->builder.Add(record, proof_blob);
+  build->prev_key = record.key;
+  ++build->records_out;
+  return Status::Ok();
+}
+
+Status LsmEngine::FinishOutputFile(LevelBuild* build) {
+  FileMeta meta;
+  std::string contents = build->builder.Finish(&meta);
+  if (contents.empty()) return Status::Ok();
+  meta.name = NewFileName(".sst");
+  if (options_.protect_blocks) {
+    // SDK-style whole-file encrypt + MAC (one-pass AES-GCM).
+    enclave_->ChargeCipher(contents.size());
+  }
+  enclave_->ChargeOcall();
+  enclave_->Copy(contents.size(), /*cross_boundary=*/true);
+  Status s = fs_->Write(meta.name, std::move(contents));
   if (!s.ok()) return s;
-
-  if (!seal.tree_payload.empty()) {
-    level.tree_file = NewFileName(".tree");
-    enclave_->ChargeOcall();
-    s = fs_->Write(level.tree_file, seal.tree_payload);
-    if (!s.ok()) return s;
-  }
-  *out = std::move(level);
+  build->level.bytes += meta.size;
+  build->level.num_records += meta.num_records;
+  if (listener_ != nullptr) listener_->OnTableFileCreated(meta);
+  build->level.files.push_back(std::move(meta));
   return Status::Ok();
 }
 
-void LsmEngine::DropLevelFiles(const LevelMeta& level) {
-  for (const FileMeta& file : level.files) {
-    mmaps_.erase(file.name);
-    if (read_buffer_ != nullptr) read_buffer_->Invalidate(file.name);
-    (void)fs_->Delete(file.name);
+Status LsmEngine::FinalizeLevel(LevelBuild* build, const CompactionSeal& seal) {
+  Status s = FinishOutputFile(build);
+  if (!s.ok()) return s;
+  build->level.root = seal.root;
+  build->level.leaf_count = seal.leaf_count;
+  if (!seal.tree_payload.empty()) {
+    build->level.tree_file = NewFileName(".tree");
+    enclave_->ChargeOcall();
+    s = fs_->Write(build->level.tree_file, seal.tree_payload);
+    if (!s.ok()) return s;
   }
-  if (!level.tree_file.empty()) {
-    mmaps_.erase(level.tree_file);
-    (void)fs_->Delete(level.tree_file);
+  return Status::Ok();
+}
+
+void LsmEngine::AbortLevel(LevelBuild* build) {
+  // Never-installed outputs are unreferenced: delete them directly.
+  for (const FileMeta& file : build->level.files) (void)fs_->Delete(file.name);
+  if (!build->level.tree_file.empty()) {
+    (void)fs_->Delete(build->level.tree_file);
   }
 }
+
+void LsmEngine::InstallVersion(std::vector<LevelMeta> levels,
+                               bool reset_memtable,
+                               const std::vector<std::string>& obsolete_files) {
+  auto next = std::make_shared<Version>(std::move(levels), tracker_);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    version_ = std::move(next);
+    if (reset_memtable) {
+      memtable_ = std::make_unique<SkipList>();
+      memtable_used_ = 0;
+    }
+  }
+  for (const std::string& name : obsolete_files) tracker_->MarkObsolete(name);
+  PurgeDeadCaches();
+}
+
+void LsmEngine::PurgeDeadCaches() {
+  // Called on version installs and polled by reads: deferred deletions fire
+  // on the reader thread that drops the last snapshot, which may never be
+  // followed by another install.
+  if (!tracker_->has_deleted()) return;
+  const std::vector<std::string> deleted = tracker_->DrainDeleted();
+  if (deleted.empty()) return;
+  std::lock_guard<std::mutex> lock(mmaps_mu_);
+  for (const std::string& name : deleted) {
+    mmaps_.erase(name);
+    if (read_buffer_ != nullptr) read_buffer_->Invalidate(name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Background compaction.
+// ---------------------------------------------------------------------------
+
+void LsmEngine::ScheduleCompaction() {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    // Once stopped (close/teardown) requests are dropped — threaded or
+    // inline alike: compacting after the final manifest would orphan its
+    // files on disk.
+    if (bg_stop_) return;
+    if (bg_started_) {
+      bg_pending_ = true;
+      bg_work_cv_.notify_all();
+      return;
+    }
+  }
+  // No background thread was ever configured: run the pass inline.
+  Status s = MaybeCompact();
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    if (bg_status_.ok()) bg_status_ = s;
+  }
+}
+
+void LsmEngine::WaitForCompaction() {
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  bg_idle_cv_.wait(lock, [&] { return !bg_pending_ && !bg_running_; });
+}
+
+Status LsmEngine::TakeBackgroundStatus() {
+  std::lock_guard<std::mutex> lock(bg_mu_);
+  Status s = bg_status_;
+  bg_status_ = Status::Ok();
+  return s;
+}
+
+void LsmEngine::SetCompactionCallback(std::function<Status()> callback) {
+  std::lock_guard<std::mutex> lock(bg_mu_);
+  bg_callback_ = std::move(callback);
+}
+
+void LsmEngine::StopBackgroundCompaction() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_stop_ = true;
+    if (bg_thread_.joinable()) to_join = std::move(bg_thread_);
+  }
+  bg_work_cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+void LsmEngine::BackgroundLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(bg_mu_);
+      bg_work_cv_.wait(lock, [&] { return bg_pending_ || bg_stop_; });
+      if (!bg_pending_ && bg_stop_) return;  // drain before exiting
+      bg_pending_ = false;
+      bg_running_ = true;
+    }
+    Status s = MaybeCompact();
+    std::function<Status()> callback;
+    {
+      std::lock_guard<std::mutex> lock(bg_mu_);
+      if (!s.ok() && bg_status_.ok()) bg_status_ = s;
+      callback = bg_callback_;
+    }
+    // Runs with no engine lock held, so it may take facade locks freely.
+    if (callback != nullptr) {
+      Status cs = callback();
+      if (!cs.ok()) {
+        std::lock_guard<std::mutex> lock(bg_mu_);
+        if (bg_status_.ok()) bg_status_ = cs;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(bg_mu_);
+      bg_running_ = false;
+    }
+    bg_idle_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest & recovery.
+// ---------------------------------------------------------------------------
 
 std::string LsmEngine::EncodeManifest() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto snapshot = SnapshotVersion();
   std::string out;
-  PutVarint64(&out, next_file_no_);
-  out += EncodeLevels(levels_);
+  PutVarint64(&out, next_file_no_.load(std::memory_order_relaxed));
+  out += EncodeLevels(snapshot->levels());
   return out;
 }
 
 Status LsmEngine::RestoreManifest(std::string_view manifest) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> cl(compaction_mu_);
   uint64_t next_no = 0;
   if (!GetVarint64(&manifest, &next_no)) {
     return Status::Corruption("bad manifest header");
   }
   auto levels = DecodeLevels(manifest);
   if (!levels.ok()) return levels.status();
-  next_file_no_ = next_no;
-  levels_ = std::move(levels).value();
-  memtable_ = std::make_unique<SkipList>();
-  memtable_used_ = 0;
-  mmaps_.clear();
-  RefreshMetadataFootprint();
+  RefreshMetadataFootprint(levels.value());
+  next_file_no_.store(next_no, std::memory_order_relaxed);
+  auto next = std::make_shared<Version>(std::move(levels).value(), tracker_);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    version_ = std::move(next);
+    memtable_ = std::make_unique<SkipList>();
+    memtable_used_ = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mmaps_mu_);
+    mmaps_.clear();
+  }
   return Status::Ok();
 }
 

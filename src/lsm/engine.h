@@ -6,10 +6,13 @@
 // the paper's basic form — merge a full level into the next one.
 //
 // The engine is "vanilla": it knows nothing about Merkle trees. It exposes
-// the two integration points the paper uses for RocksDB (§5.5.3):
-//   * CompactionListener::OnInputRun / OnOutput — the Filter() /
-//     OnTableFileCreated() analogue through which auth verifies compaction
-//     inputs and seals outputs (root, leaf count, proof blobs, tree sidecar);
+// the integration points the paper uses for RocksDB (§5.5.3):
+//   * CompactionListener — the Filter() / OnTableFileCreated() analogue
+//     through which auth verifies compaction inputs and seals outputs. The
+//     streaming hooks feed the listener block-granular input/output streams
+//     so the hash-chain/Merkle build never buffers a whole level; the
+//     buffered hooks remain for legacy listeners (and for embed_full_paths,
+//     whose per-record Merkle paths need the finished tree).
 //   * opaque per-record proof blobs stored alongside records in SSTables.
 //
 // Read paths (§5.5.1): mmap (direct untrusted-memory access) or a
@@ -17,20 +20,34 @@
 // With `protect_blocks` (P1) every block carries an HMAC checked on load
 // and the engine charges SDK-style encrypt/decrypt costs.
 //
-// Thread safety: a shared_mutex allows concurrent Get/Scan; Put/Flush/
-// compaction take the exclusive lock (LevelDB-style single writer).
+// Concurrency (copy-on-write version set): the sealed level stack lives in
+// an immutable Version published behind a shared_ptr. Get/Scan take the
+// shared lock only long enough to probe the memtable and copy the version
+// pointer, then search SSTables with no lock held; the response carries its
+// snapshot so proof assembly/verification sees exactly the roots the lookup
+// used. Structural changes (flush, compaction) serialize on an internal
+// compaction mutex, do their merge work without blocking readers, and
+// install the new version with one brief exclusive swap. Compacted-away
+// files are refcounted (FileTracker) and deleted only when the last
+// snapshot using them dies. With `background_compaction` the engine owns a
+// compaction thread; ScheduleCompaction()/WaitForCompaction() drive it.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "lsm/merge_iter.h"
 #include "lsm/record.h"
 #include "lsm/skiplist.h"
 #include "lsm/sstable.h"
@@ -55,6 +72,9 @@ struct LsmOptions {
   int bloom_bits_per_key = 10;
   bool use_bloom = true;
   bool compaction_enabled = true;
+  // Run ripple compaction on a dedicated engine thread instead of inline;
+  // schedule with ScheduleCompaction(), drain with WaitForCompaction().
+  bool background_compaction = false;
   ReadPathKind read_path = ReadPathKind::kMmap;
   uint64_t read_buffer_bytes = 8 << 20;
   storage::BufferPlacement buffer_placement =
@@ -79,6 +99,13 @@ struct CompactionSeal {
 class CompactionListener {
  public:
   virtual ~CompactionListener() = default;
+
+  // Listeners answering true are driven through the streaming hooks below;
+  // the default (false) keeps the buffered protocol, where whole runs and
+  // the whole merged output are materialized before the hooks fire.
+  virtual bool streaming() const { return false; }
+
+  // --- buffered hooks (streaming() == false) -------------------------------
   // Called once per input run in search order. src_depth == -1 means the
   // memtable (trusted, blobs empty); otherwise it is the level position.
   // `meta` is null for the memtable run. Returning non-OK aborts the merge.
@@ -95,6 +122,46 @@ class CompactionListener {
     (void)output;
     return CompactionSeal{};
   }
+
+  // --- streaming hooks (streaming() == true) -------------------------------
+  // One compaction = OnCompactionBegin, then per run: OnInputRunBegin,
+  // OnInputEntry xN (per-run order), OnInputRunEnd (the natural place to
+  // reject a tampered input); interleaved with OnOutputGroup once per merged
+  // key group (newest-first, after the drop policy); then OnOutputEnd, whose
+  // seal carries root/leaf_count/tree_payload (proof_blobs are ignored —
+  // they were emitted groupwise).
+  virtual Status OnCompactionBegin(size_t run_count) {
+    (void)run_count;
+    return Status::Ok();
+  }
+  virtual Status OnInputRunBegin(size_t run_idx, int src_depth,
+                                 const LevelMeta* meta) {
+    (void)run_idx;
+    (void)src_depth;
+    (void)meta;
+    return Status::Ok();
+  }
+  virtual Status OnInputEntry(size_t run_idx, const Record& record,
+                              std::string_view core) {
+    (void)run_idx;
+    (void)record;
+    (void)core;
+    return Status::Ok();
+  }
+  virtual Status OnInputRunEnd(size_t run_idx) {
+    (void)run_idx;
+    return Status::Ok();
+  }
+  // Append one proof blob per record to *proof_blobs (or none at all).
+  virtual Status OnOutputGroup(const std::vector<Record>& group,
+                               std::vector<std::string>* proof_blobs) {
+    (void)group;
+    (void)proof_blobs;
+    return Status::Ok();
+  }
+  virtual Result<CompactionSeal> OnOutputEnd() { return CompactionSeal{}; }
+
+  // --- both protocols ------------------------------------------------------
   virtual void OnTableFileCreated(const FileMeta& meta) { (void)meta; }
 };
 
@@ -114,6 +181,10 @@ struct LevelGetResult {
 struct GetResponse {
   std::optional<Record> memtable_hit;  // trusted L0 answer (early stop)
   std::vector<LevelGetResult> levels;  // search order; ends at hit level
+  // The level-stack snapshot the lookup ran against. Verify proofs against
+  // snapshot->levels(), not the engine's live stack, which a concurrent
+  // compaction may have replaced.
+  std::shared_ptr<const Version> snapshot;
 };
 
 // One consulted level during a SCAN.
@@ -127,18 +198,24 @@ struct LevelScanResult {
 struct ScanResponse {
   std::vector<Record> memtable_records;  // trusted, newest per key in range
   std::vector<LevelScanResult> levels;
+  std::shared_ptr<const Version> snapshot;  // see GetResponse::snapshot
 };
 
 struct EngineStats {
   uint64_t puts = 0;
-  // gets/scans are bumped on the shared-lock read path, so they must be
-  // atomic; the write-path counters are covered by the exclusive lock.
+  // gets/scans are bumped on the lock-free read path; the compaction
+  // counters on the background thread — all of those must be atomic. puts
+  // stays plain under the exclusive write lock.
   std::atomic<uint64_t> gets = 0;
   std::atomic<uint64_t> scans = 0;
-  uint64_t flushes = 0;
-  uint64_t compactions = 0;
-  uint64_t compaction_bytes_in = 0;
-  uint64_t compaction_bytes_out = 0;
+  std::atomic<uint64_t> flushes = 0;
+  std::atomic<uint64_t> compactions = 0;
+  std::atomic<uint64_t> compaction_bytes_in = 0;
+  std::atomic<uint64_t> compaction_bytes_out = 0;
+  // High-water mark of entry bytes a single compaction held in memory
+  // (group buffer + parsed blocks; O(blocks in flight) when streaming,
+  // O(level) on the buffered legacy path).
+  std::atomic<uint64_t> compaction_peak_resident_bytes = 0;
 };
 
 class LsmEngine {
@@ -156,6 +233,9 @@ class LsmEngine {
   // timestamps and decides when to Flush (memtable_bytes() tells how full
   // L0 is). Tombstones are Puts with RecordType::kTombstone.
   Status Put(Record record);
+  // Group commit: one lock acquisition and one WAL append for the whole
+  // batch (the world switch amortizes across the records).
+  Status PutBatch(std::vector<Record> records);
 
   Result<GetResponse> Get(std::string_view key, uint64_t ts_max);
   Result<ScanResponse> Scan(std::string_view k1, std::string_view k2);
@@ -168,7 +248,27 @@ class LsmEngine {
   // Force-merges the whole stack into a single deepest level.
   Status CompactAll();
 
-  const std::vector<LevelMeta>& levels() const { return levels_; }
+  // --- background compaction ----------------------------------------------
+  // Requests a MaybeCompact pass on the engine thread (runs it inline when
+  // background_compaction is off).
+  void ScheduleCompaction();
+  // Blocks until no background pass is pending or running.
+  void WaitForCompaction();
+  // First error a background pass (or its callback) hit since the last
+  // call (Ok if none).
+  Status TakeBackgroundStatus();
+  // Invoked after every background pass, with no engine lock held (the elsm
+  // facade persists the manifest here). A non-OK return is surfaced via
+  // TakeBackgroundStatus().
+  void SetCompactionCallback(std::function<Status()> callback);
+  // Drains pending work and joins the thread. Idempotent.
+  void StopBackgroundCompaction();
+
+  // Live level stack. Single-threaded callers only: a concurrent compaction
+  // may retire the backing version — concurrent readers must hold the
+  // snapshot from a Get/Scan response (or current_version()) instead.
+  const std::vector<LevelMeta>& levels() const { return version_->levels(); }
+  std::shared_ptr<const Version> current_version() const;
   size_t memtable_entries() const { return memtable_->size(); }
   uint64_t memtable_bytes() const { return memtable_used_; }
   const EngineStats& stats() const { return stats_; }
@@ -186,14 +286,35 @@ class LsmEngine {
   uint64_t wal_bytes() const;
 
  private:
+  // A level under construction: SSTable building, bloom, file bookkeeping.
+  struct LevelBuild {
+    LevelMeta level;
+    SSTableBuilder builder;
+    std::string prev_key;
+    uint64_t records_out = 0;
+
+    LevelBuild(uint64_t block_bytes, std::string mac_key)
+        : builder(block_bytes, std::move(mac_key)) {}
+  };
+  // One merge input: a level position, or the memtable run when depth < 0.
+  struct MergeSource {
+    int depth = -1;
+    std::vector<RawEntry> run;  // only for depth < 0
+  };
+
   uint64_t LevelCapacity(size_t pos) const;
   std::string NewFileName(const char* suffix);
 
   Result<std::shared_ptr<const std::string>> ReadBlock(const FileMeta& file,
                                                        const BlockHandle& block)
       const;
-  Result<std::vector<RawEntry>> ReadParsedBlock(const FileMeta& file,
-                                                const BlockHandle& block) const;
+  // Parsed entries viewing `backing` (which pins them).
+  struct ParsedBlock {
+    std::shared_ptr<const std::string> backing;
+    std::vector<BlockEntry> entries;
+  };
+  Result<ParsedBlock> ReadParsedBlock(const FileMeta& file,
+                                      const BlockHandle& block) const;
 
   Status LookupInLevel(const LevelMeta& level, std::string_view key,
                        uint64_t ts_max, LevelGetResult* out) const;
@@ -203,35 +324,78 @@ class LsmEngine {
   Result<RawEntry> FirstHead(const FileMeta& file) const;
   Result<RawEntry> LastHead(const FileMeta& file) const;
 
-  Result<std::vector<RawEntry>> LoadLevel(const LevelMeta& level) const;
-  // Merge `upper` (search-order-shallower) into the level at `target_pos`
-  // (which may equal levels_.size() to create a new deepest level). When
-  // `insert_as_new` is true the run becomes a brand-new shallowest level.
-  Status MergeRuns(std::vector<RawEntry> upper, int upper_depth,
-                   size_t target_pos, bool insert_as_new);
-  Status WriteLevel(const std::vector<Record>& output,
-                    const CompactionSeal& seal, LevelMeta* out);
-  void DropLevelFiles(const LevelMeta& level);
+  std::shared_ptr<const Version> SnapshotVersion() const;
+  std::unique_ptr<RunIterator> MakeSourceIterator(const Version& base,
+                                                  MergeSource source) const;
+
+  // --- compaction core (callers hold compaction_mu_) -----------------------
+  Status FlushInternal();
+  Status MaybeCompactInternal();
+  Status CompactAllInternal();
+  // Merges `sources` (search-order-shallower first) plus — unless
+  // insert_as_new — the level at `target_pos` into a fresh level installed
+  // per the legacy position rules. reset_memtable empties L0 atomically with
+  // the version swap (the flush path).
+  Status CompactStep(std::vector<MergeSource> sources, size_t target_pos,
+                     bool insert_as_new, bool reset_memtable);
+  Status StreamCompaction(const Version& base, std::vector<MergeSource> sources,
+                          std::vector<int> depths, bool to_bottom,
+                          LevelBuild* build, CompactionSeal* seal);
+  Status BufferedCompaction(const Version& base,
+                            std::vector<MergeSource> sources,
+                            std::vector<int> depths, bool to_bottom,
+                            LevelBuild* build, CompactionSeal* seal);
+  Status AppendOutput(LevelBuild* build, const Record& record,
+                      std::string_view proof_blob);
+  Status FinishOutputFile(LevelBuild* build);
+  Status FinalizeLevel(LevelBuild* build, const CompactionSeal& seal);
+  void AbortLevel(LevelBuild* build);
+  void InstallVersion(std::vector<LevelMeta> levels, bool reset_memtable,
+                      const std::vector<std::string>& obsolete_files);
+  void PurgeDeadCaches();
+  void UpdatePeakResident(uint64_t resident_bytes);
+  void BackgroundLoop();
+
   void ChargeMetadataAccess(size_t level_pos) const;
-  void RefreshMetadataFootprint();
+  void RefreshMetadataFootprint(const std::vector<LevelMeta>& levels);
 
   LsmOptions options_;
   std::shared_ptr<sgx::Enclave> enclave_;
   std::shared_ptr<storage::SimFs> fs_;
   CompactionListener* listener_ = nullptr;
 
+  // mu_ protects the memtable and the version pointer swap; readers hold it
+  // only while probing the memtable and copying the pointer. compaction_mu_
+  // serializes structural changes (flush/compaction/restore) end to end.
   mutable std::shared_mutex mu_;
+  std::mutex compaction_mu_;
   std::unique_ptr<SkipList> memtable_;
   uint64_t memtable_used_ = 0;
-  std::vector<LevelMeta> levels_;
-  uint64_t next_file_no_ = 1;
+  std::shared_ptr<FileTracker> tracker_;
+  std::shared_ptr<const Version> version_;
+  std::atomic<uint64_t> next_file_no_ = 1;
 
   storage::WalWriter wal_;
   std::unique_ptr<storage::ReadBuffer> read_buffer_;
+  mutable std::mutex mmaps_mu_;
   mutable std::unordered_map<std::string, storage::MmapRegion> mmaps_;
   sgx::RegionId memtable_region_ = 0;
   sgx::RegionId metadata_region_ = 0;
   mutable EngineStats stats_;
+
+  // --- background thread state ---------------------------------------------
+  // bg_thread_ is only touched under bg_mu_ (StopBackgroundCompaction moves
+  // it out before joining), so Schedule/Wait/Stop may race freely.
+  std::thread bg_thread_;
+  std::mutex bg_mu_;
+  std::condition_variable bg_work_cv_;
+  std::condition_variable bg_idle_cv_;
+  std::function<Status()> bg_callback_;
+  Status bg_status_;
+  bool bg_started_ = false;  // a thread was launched at construction
+  bool bg_pending_ = false;
+  bool bg_running_ = false;
+  bool bg_stop_ = false;
 };
 
 }  // namespace elsm::lsm

@@ -1,0 +1,133 @@
+#include "lsm/merge_iter.h"
+
+namespace elsm::lsm {
+
+VectorRunIterator::VectorRunIterator(std::vector<RawEntry> run)
+    : run_(std::move(run)) {
+  for (const RawEntry& e : run_) {
+    resident_bytes_ += e.record.ByteSize() + e.core.size() + e.proof_blob.size();
+  }
+}
+
+Status VectorRunIterator::Init() { return Status::Ok(); }
+
+Status VectorRunIterator::Next() {
+  ++pos_;
+  return Status::Ok();
+}
+
+LevelRunIterator::LevelRunIterator(const LevelMeta* level, FileOpener opener,
+                                   BlockCheck check)
+    : level_(level), opener_(std::move(opener)), check_(std::move(check)) {}
+
+Status LevelRunIterator::Init() { return LoadNextBlock(); }
+
+Status LevelRunIterator::Next() {
+  if (++ei_ < entries_.size()) return Status::Ok();
+  return LoadNextBlock();
+}
+
+Status LevelRunIterator::LoadNextBlock() {
+  valid_ = false;
+  while (true) {
+    if (fi_ >= level_->files.size()) {
+      entries_.clear();
+      file_image_.reset();
+      resident_bytes_ = 0;
+      return Status::Ok();  // exhausted
+    }
+    const FileMeta& file = level_->files[fi_];
+    if (file_image_ == nullptr) {
+      auto image = opener_(file);
+      if (!image.ok()) return image.status();
+      file_image_ = std::move(image).value();
+      bi_ = 0;
+    }
+    if (bi_ >= file.blocks.size()) {
+      ++fi_;
+      file_image_.reset();
+      continue;
+    }
+    const BlockHandle& block = file.blocks[bi_++];
+    if (block.offset + block.size > file_image_->size()) {
+      return Status::Corruption("block beyond file");
+    }
+    const std::string_view bytes(file_image_->data() + block.offset,
+                                 block.size);
+    Status s = check_(file, block, bytes);
+    if (!s.ok()) return s;
+    s = ParseBlockInto(bytes, block.num_entries, &entries_);
+    if (!s.ok()) return s;
+    if (entries_.empty()) continue;
+    ei_ = 0;
+    valid_ = true;
+    resident_bytes_ = 0;
+    for (const BlockEntry& e : entries_) {
+      resident_bytes_ += e.record.ByteSize() + 32;
+    }
+    return Status::Ok();
+  }
+}
+
+MergeIterator::MergeIterator(std::vector<std::unique_ptr<RunIterator>> runs,
+                             EntryTap tap, RunEnd run_end)
+    : runs_(std::move(runs)), tap_(std::move(tap)), run_end_(std::move(run_end)) {}
+
+Status MergeIterator::AfterLoad(size_t idx) {
+  RunIterator& run = *runs_[idx];
+  if (run.Valid()) {
+    if (tap_ != nullptr) return tap_(idx, run.record(), run.core());
+    return Status::Ok();
+  }
+  if (run_end_ != nullptr) return run_end_(idx);
+  return Status::Ok();
+}
+
+Status MergeIterator::Init() {
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    Status s = runs_[i]->Init();
+    if (!s.ok()) return status_ = s;
+    s = AfterLoad(i);
+    if (!s.ok()) return status_ = s;
+  }
+  PickCurrent();
+  return Status::Ok();
+}
+
+void MergeIterator::PickCurrent() {
+  current_ = kNone;
+  InternalKeyLess less;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (!runs_[i]->Valid()) continue;
+    if (current_ == kNone || less(runs_[i]->record(), runs_[current_]->record())) {
+      current_ = i;
+    }
+  }
+}
+
+Record MergeIterator::TakeAndAdvance() {
+  const size_t idx = current_;
+  Record out = runs_[idx]->TakeRecord();
+  Status s = runs_[idx]->Next();
+  if (!s.ok()) {
+    status_ = s;
+    current_ = kNone;
+    return out;
+  }
+  s = AfterLoad(idx);
+  if (!s.ok()) {
+    status_ = s;
+    current_ = kNone;
+    return out;
+  }
+  PickCurrent();
+  return out;
+}
+
+uint64_t MergeIterator::resident_bytes() const {
+  uint64_t total = 0;
+  for (const auto& run : runs_) total += run->resident_bytes();
+  return total;
+}
+
+}  // namespace elsm::lsm

@@ -47,8 +47,18 @@ std::string SSTableBuilder::Finish(FileMeta* meta) {
   return std::move(contents_);
 }
 
-Result<std::vector<RawEntry>> ParseBlock(std::string_view block) {
-  std::vector<RawEntry> entries;
+RawEntry MaterializeEntry(const BlockEntry& entry) {
+  RawEntry out;
+  out.record = entry.record;
+  out.core.assign(entry.core);
+  out.proof_blob.assign(entry.proof_blob);
+  return out;
+}
+
+Status ParseBlockInto(std::string_view block, size_t reserve,
+                      std::vector<BlockEntry>* out) {
+  out->clear();
+  if (reserve > 0) out->reserve(reserve);
   while (!block.empty()) {
     std::string_view core;
     std::string_view proof;
@@ -59,12 +69,22 @@ Result<std::vector<RawEntry>> ParseBlock(std::string_view block) {
     std::string_view core_cursor = core;
     auto record = Record::DecodeCore(&core_cursor);
     if (!record.ok()) return record.status();
-    RawEntry entry;
+    BlockEntry entry;
     entry.record = std::move(record).value();
-    entry.core.assign(core);
-    entry.proof_blob.assign(proof);
-    entries.push_back(std::move(entry));
+    entry.core = core;
+    entry.proof_blob = proof;
+    out->push_back(std::move(entry));
   }
+  return Status::Ok();
+}
+
+Result<std::vector<RawEntry>> ParseBlock(std::string_view block) {
+  std::vector<BlockEntry> views;
+  Status s = ParseBlockInto(block, 0, &views);
+  if (!s.ok()) return s;
+  std::vector<RawEntry> entries;
+  entries.reserve(views.size());
+  for (const BlockEntry& v : views) entries.push_back(MaterializeEntry(v));
   return entries;
 }
 

@@ -26,6 +26,18 @@ struct RawEntry {
   std::string proof_blob;
 };
 
+// A decoded entry whose byte payloads are *views* into the block image the
+// entry was parsed from (valid only while that image is pinned). The Get
+// hot path works on these and materializes a RawEntry only for the handful
+// of entries that escape into a response.
+struct BlockEntry {
+  Record record;
+  std::string_view core;
+  std::string_view proof_blob;
+};
+
+RawEntry MaterializeEntry(const BlockEntry& entry);
+
 class SSTableBuilder {
  public:
   // When `mac_key` is non-empty each finished block gets an HMAC tag in its
@@ -52,7 +64,13 @@ class SSTableBuilder {
   std::string last_key_;
 };
 
-// Decodes every entry of a block image.
+// Decodes every entry of a block image into *out (cleared first; reserved
+// to `reserve` when non-zero, typically BlockHandle::num_entries). The
+// entries' core/proof views alias `block`.
+Status ParseBlockInto(std::string_view block, size_t reserve,
+                      std::vector<BlockEntry>* out);
+
+// Decodes every entry of a block image into owning entries.
 Result<std::vector<RawEntry>> ParseBlock(std::string_view block);
 
 // Recomputes and checks the HMAC for a block image (P1 read path).

@@ -111,6 +111,65 @@ std::string EncodeLevels(const std::vector<LevelMeta>& levels) {
   return out;
 }
 
+void FileTracker::Ref(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++refs_[name];
+}
+
+void FileTracker::Unref(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = refs_.find(name);
+  if (it == refs_.end()) return;
+  if (--it->second > 0) return;
+  refs_.erase(it);
+  if (obsolete_.erase(name) > 0) DeleteLocked(name);
+}
+
+void FileTracker::MarkObsolete(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (refs_.count(name) > 0) {
+    obsolete_.insert(name);
+  } else {
+    DeleteLocked(name);
+  }
+}
+
+std::vector<std::string> FileTracker::DrainDeleted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.swap(deleted_);
+  has_deleted_.store(false, std::memory_order_relaxed);
+  return out;
+}
+
+void FileTracker::DeleteLocked(const std::string& name) {
+  (void)fs_->Delete(name);
+  deleted_.push_back(name);
+  has_deleted_.store(true, std::memory_order_relaxed);
+}
+
+Version::Version(std::vector<LevelMeta> levels,
+                 std::shared_ptr<FileTracker> tracker)
+    : levels_(std::move(levels)), tracker_(std::move(tracker)) {
+  if (tracker_ != nullptr) {
+    ForEachFile([&](const std::string& name) { tracker_->Ref(name); });
+  }
+}
+
+Version::~Version() {
+  if (tracker_ != nullptr) {
+    ForEachFile([&](const std::string& name) { tracker_->Unref(name); });
+  }
+}
+
+void Version::ForEachFile(
+    const std::function<void(const std::string&)>& fn) const {
+  for (const LevelMeta& level : levels_) {
+    for (const FileMeta& file : level.files) fn(file.name);
+    if (!level.tree_file.empty()) fn(level.tree_file);
+  }
+}
+
 Result<std::vector<LevelMeta>> DecodeLevels(std::string_view input) {
   uint32_t count = 0;
   if (!GetVarint32(&input, &count)) {

@@ -1,19 +1,34 @@
 // Level / file metadata — the enclave-resident index structures (paper
 // Fig. 1: "Index" inside the enclave; §4.2: metadata grows sublinearly and
-// fits the EPC).
+// fits the EPC) — plus the copy-on-write version machinery that lets reads
+// run lock-free while the untrusted host compacts.
 //
 // The engine treats the auth fields (root, leaf_count, tree_file) as opaque
 // seal data installed by a CompactionListener; the vanilla engine leaves
 // them empty. This is what keeps authentication an add-on (§5.5.3).
+//
+// A Version is an immutable snapshot of the whole level stack. The engine
+// publishes the current Version behind a shared_ptr swap; readers copy the
+// pointer under a brief shared lock and then search sealed SSTables with no
+// lock at all. FileTracker refcounts the files each live Version pins, so
+// compaction can retire its inputs immediately while snapshot holders keep
+// reading them (LevelDB-style deferred deletion).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "crypto/sha256.h"
 #include "lsm/bloom.h"
+#include "storage/simfs.h"
 
 namespace elsm::lsm {
 
@@ -57,5 +72,58 @@ struct LevelMeta {
 // facade seals it and binds it to the monotonic counter).
 std::string EncodeLevels(const std::vector<LevelMeta>& levels);
 Result<std::vector<LevelMeta>> DecodeLevels(std::string_view input);
+
+// Thread-safe refcount of the on-disk files live Versions pin. A file is
+// physically deleted once it is both obsolete (dropped from the current
+// version by a compaction) and unreferenced (the last snapshot that could
+// read it has been released). Deletions are recorded so the engine can
+// purge its mmap/block caches lazily.
+class FileTracker {
+ public:
+  explicit FileTracker(std::shared_ptr<storage::SimFs> fs)
+      : fs_(std::move(fs)) {}
+
+  void Ref(const std::string& name);
+  void Unref(const std::string& name);
+  // Marks `name` dead-on-last-unref; deletes immediately if unreferenced.
+  void MarkObsolete(const std::string& name);
+  // Names deleted since the last drain (for cache invalidation).
+  std::vector<std::string> DrainDeleted();
+  // Cheap pre-check for DrainDeleted (one relaxed atomic load), so the
+  // read path can poll without taking the mutex.
+  bool has_deleted() const {
+    return has_deleted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void DeleteLocked(const std::string& name);
+
+  std::shared_ptr<storage::SimFs> fs_;
+  std::mutex mu_;
+  std::map<std::string, int> refs_;
+  std::set<std::string> obsolete_;
+  std::vector<std::string> deleted_;
+  std::atomic<bool> has_deleted_{false};
+};
+
+// An immutable snapshot of the level stack. Construction pins every SSTable
+// and tree-sidecar file in the tracker; destruction unpins them, which may
+// trigger the deferred deletion of compacted-away inputs.
+class Version {
+ public:
+  Version(std::vector<LevelMeta> levels, std::shared_ptr<FileTracker> tracker);
+  ~Version();
+
+  Version(const Version&) = delete;
+  Version& operator=(const Version&) = delete;
+
+  const std::vector<LevelMeta>& levels() const { return levels_; }
+
+ private:
+  void ForEachFile(const std::function<void(const std::string&)>& fn) const;
+
+  std::vector<LevelMeta> levels_;
+  std::shared_ptr<FileTracker> tracker_;
+};
 
 }  // namespace elsm::lsm

@@ -15,15 +15,29 @@ uint32_t Checksum(std::string_view payload) {
   return c;
 }
 
+void AppendFrame(std::string* out, std::string_view payload) {
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  PutFixed32(out, Checksum(payload));
+  out->append(payload.data(), payload.size());
+}
+
 }  // namespace
 
 Status WalWriter::Append(std::string_view payload) {
   std::string frame;
   frame.reserve(payload.size() + 8);
-  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
-  PutFixed32(&frame, Checksum(payload));
-  frame.append(payload.data(), payload.size());
+  AppendFrame(&frame, payload);
   return fs_->Append(name_, frame);
+}
+
+Status WalWriter::AppendBatch(const std::vector<std::string>& payloads) {
+  if (payloads.empty()) return Status::Ok();
+  size_t total = 0;
+  for (const std::string& payload : payloads) total += payload.size() + 8;
+  std::string frames;
+  frames.reserve(total);
+  for (const std::string& payload : payloads) AppendFrame(&frames, payload);
+  return fs_->Append(name_, frames);
 }
 
 Result<WalContents> ReadWal(const SimFs& fs, const std::string& name) {

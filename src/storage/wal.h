@@ -19,6 +19,9 @@ class WalWriter {
   WalWriter(SimFs* fs, std::string name) : fs_(fs), name_(std::move(name)) {}
 
   Status Append(std::string_view payload);
+  // Group commit: frames every payload but issues a single filesystem
+  // append, so the (simulated) world switch is paid once per batch.
+  Status AppendBatch(const std::vector<std::string>& payloads);
   const std::string& name() const { return name_; }
 
  private:

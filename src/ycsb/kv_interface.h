@@ -7,6 +7,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "baseline/eleos_store.h"
 #include "baseline/merkle_btree.h"
@@ -19,6 +21,16 @@ class KvInterface {
  public:
   virtual ~KvInterface() = default;
   virtual Status Put(std::string_view key, std::string_view value) = 0;
+  // Bulk insert (the YCSB load phase). Stores with a group-commit path
+  // override this; the default degrades to per-record Puts.
+  virtual Status PutBatch(
+      const std::vector<std::pair<std::string, std::string>>& records) {
+    for (const auto& [key, value] : records) {
+      Status s = Put(key, value);
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  }
   virtual Result<std::optional<std::string>> Get(std::string_view key) = 0;
   // Range scan of up to `limit` records starting at `start_key`. Returns the
   // number of records produced.
@@ -33,6 +45,13 @@ class ElsmKv : public KvInterface {
   explicit ElsmKv(ElsmDb* db) : db_(db) {}
   Status Put(std::string_view key, std::string_view value) override {
     return db_->Put(key, value);
+  }
+  Status PutBatch(const std::vector<std::pair<std::string, std::string>>&
+                      records) override {
+    ElsmDb::WriteBatch batch;
+    batch.entries.reserve(records.size());
+    for (const auto& [key, value] : records) batch.Put(key, value);
+    return db_->Write(batch);
   }
   Result<std::optional<std::string>> Get(std::string_view key) override {
     return db_->Get(key);
