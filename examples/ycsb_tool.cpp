@@ -2,12 +2,17 @@
 // (p2, p2-buffer, p1, unsecured, eleos, btree) at a chosen scale and print
 // load/run statistics — the interactive counterpart of the bench/ binaries.
 //
-//   $ ./build/examples/ycsb_tool [workload] [engine] [records] [ops]
+//   $ ./build/examples/ycsb_tool [workload] [engine] [records] [ops] [--shards=N]
 //   $ ./build/examples/ycsb_tool A p2 20000 10000
+//   $ ./build/examples/ycsb_tool A p2 20000 10000 --shards=4
+//
+// --shards=N (N > 1) routes the eLSM engines (p2, p2-buffer, p1, unsecured)
+// through the hash-partitioned ShardedDb router; baselines ignore it.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 #include "baseline/eleos_store.h"
 #include "baseline/merkle_btree.h"
@@ -65,22 +70,36 @@ void PrintStats(const char* phase, const RunStats& stats) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* workload_name = argc > 1 ? argv[1] : "A";
-  const char* engine_name = argc > 2 ? argv[2] : "p2";
-  const uint64_t records = argc > 3 ? strtoull(argv[3], nullptr, 10) : 20000;
-  const uint64_t ops = argc > 4 ? strtoull(argv[4], nullptr, 10) : 10000;
+  // Pull --shards=N out of argv so the positional arguments stay stable.
+  uint32_t shards = 1;
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = uint32_t(strtoul(argv[i] + 9, nullptr, 10));
+      if (shards == 0) shards = 1;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const char* workload_name = args.size() > 0 ? args[0] : "A";
+  const char* engine_name = args.size() > 1 ? args[1] : "p2";
+  const uint64_t records =
+      args.size() > 2 ? strtoull(args[2], nullptr, 10) : 20000;
+  const uint64_t ops = args.size() > 3 ? strtoull(args[3], nullptr, 10) : 10000;
 
   WorkloadSpec spec = PickWorkload(workload_name);
   spec.record_count = records;
   spec.operation_count = ops;
 
-  std::printf("YCSB workload %s on engine %s: %llu records, %llu ops\n",
-              spec.name.c_str(), engine_name, (unsigned long long)records,
-              (unsigned long long)ops);
+  std::printf("YCSB workload %s on engine %s (%u shard%s): %llu records, "
+              "%llu ops\n",
+              spec.name.c_str(), engine_name, shards, shards == 1 ? "" : "s",
+              (unsigned long long)records, (unsigned long long)ops);
 
   YcsbRunner runner(spec);
 
   std::unique_ptr<ElsmDb> db;
+  std::unique_ptr<ShardedDb> sharded;
   std::unique_ptr<baseline::EleosStore> eleos;
   std::unique_ptr<baseline::MerkleBTree> btree;
   std::shared_ptr<sgx::Enclave> enclave;
@@ -109,14 +128,25 @@ int main(int argc, char** argv) {
                               ? lsm::ReadPathKind::kBuffer
                               : lsm::ReadPathKind::kMmap;
     }
-    auto opened = ElsmDb::Create(options);
-    if (!opened.ok()) {
-      std::fprintf(stderr, "open failed: %s\n",
-                   opened.status().ToString().c_str());
-      return 1;
+    if (shards > 1) {
+      auto opened = ShardedDb::Create(options, shards);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "open failed: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      sharded = std::move(opened).value();
+      kv = std::make_unique<ShardedKv>(sharded.get());
+    } else {
+      auto opened = ElsmDb::Create(options);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "open failed: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      db = std::move(opened).value();
+      kv = std::make_unique<ElsmKv>(db.get());
     }
-    db = std::move(opened).value();
-    kv = std::make_unique<ElsmKv>(db.get());
   }
 
   const uint64_t load_start = kv->now_ns();
@@ -136,6 +166,17 @@ int main(int argc, char** argv) {
   }
   PrintStats("run", stats.value());
 
+  if (sharded != nullptr) {
+    uint64_t flushes = 0;
+    uint64_t compactions = 0;
+    for (uint32_t i = 0; i < sharded->num_shards(); ++i) {
+      flushes += sharded->shard(i).engine().stats().flushes.load();
+      compactions += sharded->shard(i).engine().stats().compactions.load();
+    }
+    std::printf("sharded: shards=%u flushes=%llu compactions=%llu\n",
+                sharded->num_shards(), (unsigned long long)flushes,
+                (unsigned long long)compactions);
+  }
   if (db != nullptr) {
     const auto counters = db->enclave().counters();
     std::printf("enclave: ecalls=%llu ocalls=%llu faults=%llu hashed=%.1fKiB "

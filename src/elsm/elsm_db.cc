@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <set>
 
 #include "common/coding.h"
 #include "crypto/cipher.h"
@@ -25,6 +26,10 @@ lsm::LsmOptions MakeEngineOptions(const Options& o) {
   eo.compaction_enabled = o.compaction_enabled;
   eo.background_compaction = o.background_compaction;
   eo.read_buffer_bytes = o.read_buffer_bytes;
+  // The facade persists the manifest; compacted-away files may only be
+  // unlinked after the manifest dropping them is durable (crash safety),
+  // so the engine parks them and the facade purges post-persist.
+  eo.defer_obsolete_deletion = true;
   switch (o.mode) {
     case Mode::kP1:
       // P1 keeps the whole read path in enclave memory; mmap files cannot
@@ -95,7 +100,28 @@ Result<std::unique_ptr<ElsmDb>> ElsmDb::Create(const Options& options) {
 }
 
 Status ElsmDb::Recover() {
-  if (!fs_->Exists(manifest_name())) return Status::Ok();  // fresh store
+  // A crash can strand a half-written MANIFEST.tmp; the atomic rename in
+  // PersistManifest means it was never the authoritative copy.
+  if (fs_->Exists(manifest_tmp_name())) (void)fs_->Delete(manifest_tmp_name());
+
+  if (!fs_->Exists(manifest_name())) {
+    if (options_.rollback_defense && platform_->counter.Read() > 0) {
+      // A manifest was sealed at least once (the counter only bumps after
+      // a successful persist) — a missing file means the host dropped the
+      // store's state wholesale.
+      return Status::RollbackDetected(
+          "manifest vanished: hardware counter is " +
+          std::to_string(platform_->counter.Read()) +
+          " but no sealed manifest exists");
+    }
+    // Fresh store — or a crash before the first manifest persist. Replay
+    // whatever the WAL holds; there is no sealed digest to hold it to yet.
+    Status s = ReplayWal(/*wal_count=*/0, crypto::kZeroHash,
+                         /*check_digest=*/false, /*flushed_ts=*/0);
+    if (!s.ok()) return s;
+    GcOrphanFiles();
+    return Status::Ok();
+  }
 
   auto sealed = fs_->ReadAll(manifest_name());
   if (!sealed.ok()) return sealed.status();
@@ -107,11 +133,13 @@ Status ElsmDb::Recover() {
 
   std::string_view cursor(payload.value());
   uint64_t last_ts = 0;
+  uint64_t flushed_ts = 0;
   uint64_t wal_count = 0;
   uint64_t counter_value = 0;
   crypto::Hash256 wal_dig;
   std::string_view engine_manifest;
-  if (!GetFixed64(&cursor, &last_ts) || cursor.size() < 32) {
+  if (!GetFixed64(&cursor, &last_ts) || !GetFixed64(&cursor, &flushed_ts) ||
+      cursor.size() < 32) {
     return Status::Corruption("bad manifest payload");
   }
   std::memcpy(wal_dig.data(), cursor.data(), 32);
@@ -128,7 +156,12 @@ Status ElsmDb::Recover() {
           "manifest counter " + std::to_string(counter_value) +
           " behind hardware counter " + std::to_string(hw));
     }
-    if (counter_value > hw) {
+    if (counter_value == hw + 1) {
+      // Crash window: the manifest landed but the power failed before the
+      // bump. The manifest is the newest sealed state (the host cannot
+      // forge a counter value inside the seal) — sync the hardware to it.
+      platform_->counter.Increment();
+    } else if (counter_value > hw) {
       return Status::Corruption("manifest counter ahead of hardware");
     }
   }
@@ -136,9 +169,37 @@ Status ElsmDb::Recover() {
   Status s = engine_->RestoreManifest(engine_manifest);
   if (!s.ok()) return s;
   last_ts_ = last_ts;
+  flushed_ts_ = flushed_ts;
+  s = ReplayWal(wal_count, wal_dig, /*check_digest=*/true, flushed_ts);
+  if (!s.ok()) return s;
+  GcOrphanFiles();
+  return Status::Ok();
+}
 
-  // Replay the WAL: the sealed digest must cover its persisted prefix
-  // exactly (w1/§5.6.1); anything beyond extends the digest.
+void ElsmDb::GcOrphanFiles() {
+  // A crash can strand files the recovered manifest does not reference:
+  // outputs of a compaction whose manifest persist never landed, and
+  // compacted-away inputs parked for deletion whose purge never ran.
+  // Without GC they would accumulate across crash/recover cycles.
+  std::set<std::string> keep;
+  for (const lsm::LevelMeta& level : engine_->levels()) {
+    for (const lsm::FileMeta& file : level.files) keep.insert(file.name);
+    if (!level.tree_file.empty()) keep.insert(level.tree_file);
+  }
+  const std::string wal_name = options_.name + "/wal";
+  for (const std::string& name : fs_->List(options_.name + "/")) {
+    if (name == manifest_name() || name == manifest_tmp_name() ||
+        name == wal_name || keep.count(name) > 0) {
+      continue;
+    }
+    (void)fs_->Delete(name);
+  }
+}
+
+Status ElsmDb::ReplayWal(uint64_t wal_count, const crypto::Hash256& wal_dig,
+                         bool check_digest, uint64_t flushed_ts) {
+  // The sealed digest must cover the WAL's persisted prefix exactly
+  // (w1/§5.6.1); anything beyond extends the digest.
   auto wal = engine_->ReadWalRecords();
   if (!wal.ok()) return wal.status();
   const auto& records = wal.value().records;
@@ -149,43 +210,55 @@ Status ElsmDb::Recover() {
   for (size_t i = 0; i < records.size(); ++i) {
     enclave_->ChargeHash(records[i].size() + 32);
     wal_digest_.Append(records[i]);
-    if (i + 1 == wal_count) {
-      if (wal_digest_.digest() != wal_dig) {
-        return Status::AuthFailure("WAL digest mismatch on recovery");
-      }
+    if (check_digest && i + 1 == wal_count &&
+        wal_digest_.digest() != wal_dig) {
+      return Status::AuthFailure("WAL digest mismatch on recovery");
     }
     std::string_view record_cursor(records[i]);
     auto record = lsm::Record::DecodeCore(&record_cursor);
     if (!record.ok()) return record.status();
     last_ts_ = std::max(last_ts_, record.value().ts);
-    s = engine_->ReinsertFromWal(std::move(record).value());
+    if (record.value().ts <= flushed_ts) {
+      // Leftover of a flush that persisted its manifest but crashed before
+      // truncating the WAL: the record is already in the level stack, so
+      // re-inserting it would duplicate an internal key across runs.
+      continue;
+    }
+    Status s = engine_->ReinsertFromWal(std::move(record).value());
     if (!s.ok()) return s;
-  }
-  if (wal_count > 0 && records.size() == wal_count &&
-      wal_digest_.digest() != wal_dig) {
-    return Status::AuthFailure("WAL digest mismatch on recovery");
   }
   return Status::Ok();
 }
 
-Status ElsmDb::PersistManifest() {
+Status ElsmDb::PersistManifest(const crypto::Hash256& wal_dig,
+                               uint64_t wal_count) {
   ++flush_count_;
-  if (options_.rollback_defense &&
-      flush_count_ % std::max<uint32_t>(1, options_.counter_sync_period) ==
-          0) {
-    platform_->counter.Increment();
-    enclave_->ChargeCounterBump();
-  }
+  const bool bump =
+      options_.rollback_defense &&
+      flush_count_ % std::max<uint32_t>(1, options_.counter_sync_period) == 0;
   std::string payload;
   PutFixed64(&payload, last_ts_);
-  payload.append(reinterpret_cast<const char*>(wal_digest_.digest().data()),
-                 32);
-  PutFixed64(&payload, wal_digest_.count());
-  PutFixed64(&payload, platform_->counter.Read());
+  PutFixed64(&payload, flushed_ts_);
+  payload.append(reinterpret_cast<const char*>(wal_dig.data()), 32);
+  PutFixed64(&payload, wal_count);
+  // Record the post-bump value; the bump itself happens only after the
+  // rename lands, so a crash can never leave the hardware counter ahead of
+  // every manifest on disk (which would brick the store as a false
+  // rollback). Recovery tolerates the inverse window (manifest one ahead).
+  PutFixed64(&payload, platform_->counter.Read() + (bump ? 1 : 0));
   PutLengthPrefixed(&payload, engine_->EncodeManifest());
   enclave_->ChargeHash(payload.size());
   enclave_->ChargeOcall();
-  return fs_->Write(manifest_name(), sgx::Seal(platform_->sealing_key, payload));
+  Status s = fs_->Write(manifest_tmp_name(),
+                        sgx::Seal(platform_->sealing_key, payload));
+  if (!s.ok()) return s;
+  s = fs_->Rename(manifest_tmp_name(), manifest_name());
+  if (!s.ok()) return s;
+  if (bump) {
+    platform_->counter.Increment();
+    enclave_->ChargeCounterBump();
+  }
+  return Status::Ok();
 }
 
 std::string ElsmDb::TransformKey(std::string_view key) const {
@@ -241,13 +314,21 @@ Status ElsmDb::FlushInternal(bool only_if_full) {
     s = engine_->MaybeCompact();
     if (!s.ok()) return s;
   }
+  // Crash ordering: every record at/below last_ts_ is now in the level
+  // stack, so persist a manifest recording the post-truncation WAL state
+  // (empty digest, flushed_ts_ high water) *before* truncating the WAL. A
+  // crash in between leaves stale frames behind; ReplayWal skips them. The
+  // live wal_digest_ resets only once both steps succeeded, so a transient
+  // persist/truncate failure leaves digest and WAL still in agreement.
+  flushed_ts_ = last_ts_;
+  if (options_.persist_manifest_on_flush) {
+    s = PersistManifest(crypto::kZeroHash, 0);
+    if (!s.ok()) return s;
+  }
   s = engine_->ResetWal();
   if (!s.ok()) return s;
   wal_digest_.Reset();
-  if (options_.persist_manifest_on_flush) {
-    s = PersistManifest();
-    if (!s.ok()) return s;
-  }
+  engine_->PurgeObsoleteFiles();
   lock.unlock();
   if (options_.background_compaction) engine_->ScheduleCompaction();
   return Status::Ok();
@@ -261,7 +342,9 @@ Status ElsmDb::PersistAfterBackgroundCompaction() {
   if (!options_.persist_manifest_on_flush) return Status::Ok();
   std::unique_lock<std::shared_mutex> lock(db_mu_);
   if (closed_) return Status::Ok();
-  return PersistManifest();
+  Status s = PersistManifest();
+  if (s.ok()) engine_->PurgeObsoleteFiles();
+  return s;
 }
 
 void ElsmDb::RecordOpStat(Histogram OpStats::*h, uint64_t latency_ns) {
@@ -281,12 +364,14 @@ Status ElsmDb::Put(std::string_view key, std::string_view value) {
     record.value = TransformValue(value, record.ts);
     record.type = lsm::RecordType::kValue;
 
+    // Digest only after the engine accepted the record: a failed WAL
+    // append must not leave the in-enclave digest ahead of the real WAL
+    // (a later seal would then read as a truncation attack).
     const std::string core = record.EncodeCore();
     enclave_->ChargeHash(core.size() + 32);
-    wal_digest_.Append(core);
-
     Status s = engine_->Put(std::move(record));
     if (!s.ok()) return s;
+    wal_digest_.Append(core);
     need_flush = engine_->memtable_bytes() >= options_.memtable_bytes;
   }
   Status s = need_flush ? FlushInternal(/*only_if_full=*/true) : Status::Ok();
@@ -307,10 +392,9 @@ Status ElsmDb::Delete(std::string_view key) {
 
     const std::string core = record.EncodeCore();
     enclave_->ChargeHash(core.size() + 32);
-    wal_digest_.Append(core);
-
     Status s = engine_->Put(std::move(record));
     if (!s.ok()) return s;
+    wal_digest_.Append(core);
     need_flush = engine_->memtable_bytes() >= options_.memtable_bytes;
   }
   Status s = need_flush ? FlushInternal(/*only_if_full=*/true) : Status::Ok();
@@ -328,7 +412,9 @@ Status ElsmDb::Write(const WriteBatch& batch) {
     // acquisition, then hand the whole batch to the engine as a single
     // WAL append (one world switch) and memtable pass.
     std::vector<lsm::Record> records;
+    std::vector<std::string> cores;
     records.reserve(batch.entries.size());
+    cores.reserve(batch.entries.size());
     for (const WriteBatch::Entry& entry : batch.entries) {
       lsm::Record record;
       record.ts = ++last_ts_;
@@ -340,11 +426,13 @@ Status ElsmDb::Write(const WriteBatch& batch) {
       }
       const std::string core = record.EncodeCore();
       enclave_->ChargeHash(core.size() + 32);
-      wal_digest_.Append(core);
+      cores.push_back(core);
       records.push_back(std::move(record));
     }
     Status s = engine_->PutBatch(std::move(records));
     if (!s.ok()) return s;
+    // Digest after the engine accepted the batch (see Put).
+    for (const std::string& core : cores) wal_digest_.Append(core);
     need_flush = engine_->memtable_bytes() >= options_.memtable_bytes;
   }
   Status s = need_flush ? FlushInternal(/*only_if_full=*/true) : Status::Ok();
@@ -477,10 +565,16 @@ Status ElsmDb::CompactAll() {
   if (!s.ok()) return s;
   s = engine_->CompactAll();
   if (!s.ok()) return s;
+  // Same crash ordering as FlushInternal: manifest (recording the emptied
+  // WAL) first, WAL truncation next, live digest reset only on success.
+  flushed_ts_ = last_ts_;
+  s = PersistManifest(crypto::kZeroHash, 0);
+  if (!s.ok()) return s;
   s = engine_->ResetWal();
   if (!s.ok()) return s;
   wal_digest_.Reset();
-  return PersistManifest();
+  engine_->PurgeObsoleteFiles();
+  return Status::Ok();
 }
 
 void ElsmDb::ScheduleCompaction() { engine_->ScheduleCompaction(); }
@@ -505,7 +599,9 @@ Status ElsmDb::Close() {
   closed_ = true;
   // Persist the manifest *without* flushing the memtable: pending records
   // stay in the WAL and replay on reopen (that is the recovery test path).
-  return PersistManifest();
+  Status s = PersistManifest();
+  if (s.ok()) engine_->PurgeObsoleteFiles();
+  return s;
 }
 
 }  // namespace elsm

@@ -131,7 +131,28 @@ class ElsmDb {
          std::shared_ptr<TrustedPlatform> platform);
 
   Status Recover();
-  Status PersistManifest();
+  // Rebuilds the in-enclave WAL digest over every surviving frame and
+  // re-inserts the ones not yet in the level stack (ts > flushed_ts).
+  // `wal_count`/`wal_dig` are the sealed coverage from the manifest;
+  // `check_digest` is false on the fresh-store path, which has no sealed
+  // digest yet.
+  Status ReplayWal(uint64_t wal_count, const crypto::Hash256& wal_dig,
+                   bool check_digest, uint64_t flushed_ts);
+  // Seals and atomically installs the manifest (write tmp + rename), then
+  // bumps the monotonic counter. Recovery accepts a manifest exactly one
+  // ahead of the hardware counter — the crash window between the rename
+  // and the bump. The WAL coverage to record is passed explicitly so a
+  // flush can seal the post-truncation state (empty digest) *before*
+  // mutating the live wal_digest_ — a transiently failed persist must
+  // leave the in-memory digest matching the untouched WAL.
+  Status PersistManifest(const crypto::Hash256& wal_dig, uint64_t wal_count);
+  Status PersistManifest() {
+    return PersistManifest(wal_digest_.digest(), wal_digest_.count());
+  }
+  // Deletes files under the store prefix that the recovered manifest does
+  // not reference (crashed compactions/flushes strand their outputs, and
+  // parked-for-deletion inputs whose purge never ran).
+  void GcOrphanFiles();
   // The one flush path: serializes flushers, drains the engine thread
   // *before* taking db_mu_ (so readers are never blocked behind a deep
   // merge), flushes, and schedules/runs the ripple per the options.
@@ -141,6 +162,9 @@ class ElsmDb {
   Status PersistAfterBackgroundCompaction();
   void RecordOpStat(Histogram OpStats::*h, uint64_t latency_ns);
   std::string manifest_name() const { return options_.name + "/MANIFEST"; }
+  std::string manifest_tmp_name() const {
+    return options_.name + "/MANIFEST.tmp";
+  }
 
   std::string TransformKey(std::string_view key) const;
   std::string TransformValue(std::string_view value, uint64_t ts) const;
@@ -170,6 +194,11 @@ class ElsmDb {
   mutable std::mutex stats_mu_;
 
   uint64_t last_ts_ = 0;
+  // Highest timestamp known to be in the level stack (set when a flush
+  // lands, persisted in the manifest). Recovery re-inserts only WAL frames
+  // above it — frames at/below it survive a crash between a flush's
+  // manifest persist and its WAL truncation and are already in a level.
+  uint64_t flushed_ts_ = 0;
   uint64_t flush_count_ = 0;
   bool closed_ = false;
   OpStats op_stats_;

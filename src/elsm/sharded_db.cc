@@ -1,0 +1,385 @@
+#include "elsm/sharded_db.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/coding.h"
+#include "lsm/merge_iter.h"
+#include "sgxsim/sealed.h"
+
+namespace elsm {
+namespace {
+
+constexpr uint64_t kSuperVersion = 1;
+constexpr uint32_t kMaxShards = 4096;
+
+}  // namespace
+
+uint32_t ShardForKey(std::string_view key, uint32_t num_shards) {
+  // FNV-1a 64: stable across platforms/processes, so keys keep landing on
+  // the same shard for the lifetime of the store (the sealed shard count
+  // pins the modulus).
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return static_cast<uint32_t>(h % num_shards);
+}
+
+std::string ShardedDb::ShardName(const std::string& base_name,
+                                 uint32_t shard) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "/shard-%03u", shard);
+  return base_name + buf;
+}
+
+ShardedDb::ShardedDb(const Options& base, uint32_t num_shards,
+                     std::shared_ptr<ShardEnv> env)
+    : options_(base),
+      num_shards_(num_shards),
+      env_(std::move(env)),
+      meta_enclave_(std::make_shared<sgx::Enclave>(
+          base.cost_model, base.mode != Mode::kUnsecured)) {
+  if (env_->meta_platform == nullptr) {
+    env_->meta_platform = std::make_shared<TrustedPlatform>();
+  }
+  if (env_->meta_fs == nullptr) {
+    env_->meta_fs = std::make_shared<storage::SimFs>(meta_enclave_);
+  } else {
+    env_->meta_fs->set_enclave(meta_enclave_);
+  }
+  env_->shard_fs.resize(num_shards_);
+  env_->shard_platforms.resize(num_shards_);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    if (env_->shard_platforms[i] == nullptr) {
+      auto platform = std::make_shared<TrustedPlatform>();
+      // Derived per-shard sealing keys: a shard's manifest cannot be
+      // unsealed under another shard's key, so swapping shard directories
+      // surfaces as AuthFailure instead of silently re-homing data.
+      platform->sealing_key =
+          env_->meta_platform->sealing_key + ShardName("", i);
+      env_->shard_platforms[i] = std::move(platform);
+    }
+    if (env_->shard_fs[i] == nullptr) {
+      env_->shard_fs[i] = std::make_shared<storage::SimFs>(meta_enclave_);
+    }
+  }
+}
+
+ShardedDb::~ShardedDb() {
+  if (!closed_) (void)Close();
+}
+
+Result<std::unique_ptr<ShardedDb>> ShardedDb::Open(
+    const Options& base, uint32_t num_shards, std::shared_ptr<ShardEnv> env) {
+  if (num_shards == 0 || num_shards > kMaxShards) {
+    return Status::InvalidArgument("num_shards must be in [1, " +
+                                   std::to_string(kMaxShards) + "]");
+  }
+  if (env == nullptr) env = std::make_shared<ShardEnv>();
+  if (!env->shard_fs.empty() && env->shard_fs.size() != num_shards) {
+    return Status::InvalidArgument(
+        "ShardEnv holds " + std::to_string(env->shard_fs.size()) +
+        " shard filesystems but " + std::to_string(num_shards) +
+        " shards were requested");
+  }
+  std::unique_ptr<ShardedDb> db(new ShardedDb(base, num_shards, env));
+  Status s = db->OpenShards();
+  if (!s.ok()) return s;
+  return db;
+}
+
+Result<std::unique_ptr<ShardedDb>> ShardedDb::Create(const Options& base,
+                                                     uint32_t num_shards) {
+  return Open(base, num_shards, nullptr);
+}
+
+Status ShardedDb::OpenShards() {
+  if (env_->meta_fs->Exists(super_tmp_name())) {
+    (void)env_->meta_fs->Delete(super_tmp_name());
+  }
+  bool found = false;
+  Status s = VerifySuperManifest(&found);
+  if (!s.ok()) return s;
+  if (!found && options_.rollback_defense) {
+    // No super-manifest: acceptable only for a genuinely fresh store. Any
+    // shard with sealed state (or a bumped trusted counter) means the host
+    // deleted the cross-shard binding.
+    if (env_->meta_platform->counter.Read() > 0) {
+      return Status::RollbackDetected(
+          "super-manifest vanished: meta counter is " +
+          std::to_string(env_->meta_platform->counter.Read()));
+    }
+    for (uint32_t i = 0; i < num_shards_; ++i) {
+      if (env_->shard_fs[i]->Exists(shard_manifest_name(i)) ||
+          env_->shard_platforms[i]->counter.Read() > 0) {
+        return Status::RollbackDetected(
+            "super-manifest vanished but shard " + std::to_string(i) +
+            " has sealed state");
+      }
+    }
+  }
+  shards_.reserve(num_shards_);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    Options shard_options = options_;
+    shard_options.name = ShardName(options_.name, i);
+    auto db =
+        ElsmDb::Open(shard_options, env_->shard_fs[i], env_->shard_platforms[i]);
+    if (!db.ok()) return db.status();
+    shards_.push_back(std::move(db).value());
+  }
+  // Record the post-recovery shard digests (also seals the shard count the
+  // first time through).
+  return PersistSuperManifest();
+}
+
+Status ShardedDb::ShardManifestState(uint32_t shard, crypto::Hash256* digest,
+                                     uint64_t* last_ts) const {
+  *digest = crypto::kZeroHash;
+  *last_ts = 0;
+  auto blob = env_->shard_fs[shard]->Blob(shard_manifest_name(shard));
+  if (blob == nullptr) return Status::Ok();
+  meta_enclave_->ChargeHash(blob->size());
+  *digest = crypto::Sha256::Digest(*blob);
+  auto payload =
+      sgx::Unseal(env_->shard_platforms[shard]->sealing_key, *blob);
+  if (!payload.ok()) {
+    return Status::AuthFailure(
+        "shard " + std::to_string(shard) +
+        " manifest is not sealed under its shard key: " +
+        payload.status().message());
+  }
+  std::string_view cursor(payload.value());
+  if (!GetFixed64(&cursor, last_ts)) {
+    return Status::Corruption("bad shard manifest payload");
+  }
+  return Status::Ok();
+}
+
+Status ShardedDb::VerifySuperManifest(bool* found) {
+  *found = false;
+  if (!env_->meta_fs->Exists(super_name())) return Status::Ok();
+
+  auto sealed = env_->meta_fs->ReadAll(super_name());
+  if (!sealed.ok()) return sealed.status();
+  auto payload = sgx::Unseal(env_->meta_platform->sealing_key, sealed.value());
+  if (!payload.ok()) {
+    return Status::AuthFailure("super-manifest seal broken: " +
+                               payload.status().message());
+  }
+
+  std::string_view cursor(payload.value());
+  uint64_t version = 0;
+  uint64_t shard_count = 0;
+  uint64_t counter_value = 0;
+  if (!GetFixed64(&cursor, &version) || !GetFixed64(&cursor, &shard_count) ||
+      !GetFixed64(&cursor, &counter_value)) {
+    return Status::Corruption("bad super-manifest payload");
+  }
+  if (version != kSuperVersion) {
+    return Status::Corruption("unknown super-manifest version " +
+                              std::to_string(version));
+  }
+  if (options_.rollback_defense) {
+    const uint64_t hw = env_->meta_platform->counter.Read();
+    if (counter_value < hw) {
+      return Status::RollbackDetected(
+          "super-manifest counter " + std::to_string(counter_value) +
+          " behind hardware counter " + std::to_string(hw));
+    }
+    if (counter_value == hw + 1) {
+      // Crash window between the super-manifest rename and the bump; the
+      // sealed counter cannot be forged, so sync the hardware to it.
+      env_->meta_platform->counter.Increment();
+    } else if (counter_value > hw) {
+      return Status::Corruption("super-manifest counter ahead of hardware");
+    }
+  }
+  if (shard_count != num_shards_) {
+    return Status::InvalidArgument(
+        "sharded store was sealed with " + std::to_string(shard_count) +
+        " shards but opened with " + std::to_string(num_shards_) +
+        " — the shard count (and thus key routing) is fixed at creation");
+  }
+  if (cursor.size() != size_t(shard_count) * 40) {
+    return Status::Corruption("bad super-manifest digest block");
+  }
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    crypto::Hash256 recorded;
+    std::memcpy(recorded.data(), cursor.data(), 32);
+    cursor.remove_prefix(32);
+    uint64_t recorded_last_ts = 0;
+    if (!GetFixed64(&cursor, &recorded_last_ts)) {
+      return Status::Corruption("bad super-manifest digest block");
+    }
+    if (recorded == crypto::kZeroHash) continue;  // shard fresh at record time
+    if (!env_->shard_fs[i]->Exists(shard_manifest_name(i))) {
+      return Status::AuthFailure(
+          "shard " + std::to_string(i) +
+          " had sealed state but its manifest vanished from the untrusted "
+          "disk");
+    }
+    crypto::Hash256 current;
+    uint64_t current_last_ts = 0;
+    Status s = ShardManifestState(i, &current, &current_last_ts);
+    if (!s.ok()) return s;
+    if (current == recorded) continue;  // exact content the super sealed
+    // Content differs: legal only when the shard moved *forward* (its
+    // manifests persist between super refreshes). last_ts is monotone
+    // across a shard's manifest persists, so an older-but-validly-sealed
+    // manifest (single-shard rollback inside a counter-sync window) lands
+    // below the recorded floor.
+    if (current_last_ts < recorded_last_ts) {
+      return Status::AuthFailure(
+          "shard " + std::to_string(i) + " manifest (last_ts " +
+          std::to_string(current_last_ts) +
+          ") rolled back behind the super-manifest floor (" +
+          std::to_string(recorded_last_ts) + ")");
+    }
+  }
+  *found = true;
+  return Status::Ok();
+}
+
+Status ShardedDb::PersistSuperManifest() {
+  std::string payload;
+  PutFixed64(&payload, kSuperVersion);
+  PutFixed64(&payload, num_shards_);
+  const bool bump = options_.rollback_defense;
+  PutFixed64(&payload, env_->meta_platform->counter.Read() + (bump ? 1 : 0));
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    crypto::Hash256 digest;
+    uint64_t last_ts = 0;
+    Status s = ShardManifestState(i, &digest, &last_ts);
+    if (!s.ok()) return s;
+    payload.append(reinterpret_cast<const char*>(digest.data()), 32);
+    PutFixed64(&payload, last_ts);
+  }
+  meta_enclave_->ChargeHash(payload.size());
+  meta_enclave_->ChargeOcall();
+  Status s = env_->meta_fs->Write(
+      super_tmp_name(),
+      sgx::Seal(env_->meta_platform->sealing_key, payload));
+  if (!s.ok()) return s;
+  s = env_->meta_fs->Rename(super_tmp_name(), super_name());
+  if (!s.ok()) return s;
+  if (bump) {
+    env_->meta_platform->counter.Increment();
+    meta_enclave_->ChargeCounterBump();
+  }
+  return Status::Ok();
+}
+
+Status ShardedDb::Put(std::string_view key, std::string_view value) {
+  return shards_[ShardOf(key)]->Put(key, value);
+}
+
+Status ShardedDb::Delete(std::string_view key) {
+  return shards_[ShardOf(key)]->Delete(key);
+}
+
+Result<std::optional<std::string>> ShardedDb::Get(std::string_view key) {
+  return shards_[ShardOf(key)]->Get(key);
+}
+
+Result<ElsmDb::VerifiedRecord> ShardedDb::GetVerified(std::string_view key,
+                                                      uint64_t ts_max) {
+  return shards_[ShardOf(key)]->GetVerified(key, ts_max);
+}
+
+Status ShardedDb::Write(const ElsmDb::WriteBatch& batch) {
+  std::vector<ElsmDb::WriteBatch> parts(num_shards_);
+  for (const ElsmDb::WriteBatch::Entry& entry : batch.entries) {
+    parts[ShardOf(entry.key)].entries.push_back(entry);
+  }
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    if (parts[i].entries.empty()) continue;
+    Status s = shards_[i]->Write(parts[i]);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<lsm::Record>> ShardedDb::Scan(std::string_view k1,
+                                                 std::string_view k2) {
+  // Fan out: each shard's Scan is completeness-verified against that
+  // shard's own trusted digests (inside ElsmDb). The hash partition makes
+  // shard key sets disjoint, so merging the verified per-shard results
+  // yields a complete, duplicate-free global range.
+  std::vector<std::unique_ptr<lsm::RunIterator>> runs;
+  runs.reserve(num_shards_);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    auto records = shards_[i]->Scan(k1, k2);
+    if (!records.ok()) return records.status();
+    std::vector<lsm::RawEntry> run;
+    run.reserve(records.value().size());
+    for (lsm::Record& r : records.value()) {
+      run.push_back({std::move(r), {}, {}});
+    }
+    runs.push_back(std::make_unique<lsm::VectorRunIterator>(std::move(run)));
+  }
+
+  lsm::MergeIterator merge(std::move(runs), nullptr, nullptr);
+  Status s = merge.Init();
+  if (!s.ok()) return s;
+  std::vector<lsm::Record> out;
+  while (merge.Valid()) {
+    meta_enclave_->Copy(merge.record().ByteSize(), /*cross_boundary=*/false);
+    out.push_back(merge.TakeAndAdvance());
+  }
+  if (!merge.status().ok()) return merge.status();
+  return out;
+}
+
+Status ShardedDb::Flush() {
+  std::lock_guard<std::mutex> lock(super_mu_);
+  for (auto& shard : shards_) {
+    Status s = shard->Flush();
+    if (!s.ok()) return s;
+  }
+  return PersistSuperManifest();
+}
+
+Status ShardedDb::CompactAll() {
+  std::lock_guard<std::mutex> lock(super_mu_);
+  for (auto& shard : shards_) {
+    Status s = shard->CompactAll();
+    if (!s.ok()) return s;
+  }
+  return PersistSuperManifest();
+}
+
+void ShardedDb::ScheduleCompaction() {
+  for (auto& shard : shards_) shard->ScheduleCompaction();
+}
+
+Status ShardedDb::WaitForCompaction() {
+  Status first = Status::Ok();
+  for (auto& shard : shards_) {
+    Status s = shard->WaitForCompaction();
+    if (first.ok() && !s.ok()) first = s;
+  }
+  return first;
+}
+
+Status ShardedDb::Close() {
+  std::lock_guard<std::mutex> lock(super_mu_);
+  if (closed_) return Status::Ok();
+  closed_ = true;
+  Status first = Status::Ok();
+  for (auto& shard : shards_) {
+    Status s = shard->Close();
+    if (first.ok() && !s.ok()) first = s;
+  }
+  if (!first.ok()) return first;
+  return PersistSuperManifest();
+}
+
+uint64_t ShardedDb::now_ns() const {
+  uint64_t total = meta_enclave_->now_ns();
+  for (const auto& shard : shards_) total += shard->enclave().now_ns();
+  return total;
+}
+
+}  // namespace elsm

@@ -1,0 +1,146 @@
+// ShardedDb — hash-partitioned multi-shard router over N independent
+// ElsmDb engines (ROADMAP "scaling directions": the paper keeps one
+// authenticated LSM per enclave; production scale partitions the keyspace
+// so writes, flushes and background compactions proceed per shard instead
+// of serializing on one facade lock).
+//
+// Each shard is a full ElsmDb: its own SimFs namespace (untrusted disk),
+// WAL, sealed manifest, trusted monotonic counter, enclave instance and —
+// when Options::background_compaction is set — its own compaction thread.
+// Keys route by a stable 64-bit FNV-1a hash; SCAN fans out per-shard
+// verified range scans (each proof checked against that shard's trusted
+// digests inside ElsmDb) and k-way merges the already-verified results
+// with the lsm::MergeIterator machinery.
+//
+// Cross-shard trust (the "super-manifest"): a sealed file binding
+//   shard count | meta monotonic counter |
+//   per-shard (manifest digest, manifest last_ts floor)
+// so a malicious host cannot silently drop a whole shard (digest recorded
+// but manifest gone -> AuthFailure), swap or replay shard manifests (each
+// shard's manifest is sealed under a per-shard derived key ->
+// AuthFailure), re-partition the store under a different shard count
+// (sealed count mismatch), or roll a single shard back to an
+// older-but-validly-sealed manifest inside a counter-sync window: the
+// recorded digests may lag the shards (they refresh on open, explicit
+// Flush/CompactAll and Close — auto-flushes persist shard manifests in
+// between), so a digest mismatch is resolved through the monotone
+// last_ts floor — moved forward is benign, behind the floor is an attack.
+//
+// Not provided: cross-shard atomicity. A WriteBatch spanning shards is
+// applied per shard (each sub-batch atomically); timestamps are per-shard.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/sha256.h"
+#include "elsm/elsm_db.h"
+
+namespace elsm {
+
+// The persistent world a sharded store lives in: untrusted disks and
+// trusted platforms that survive Close()/reopen (simulated power cycles).
+// Pass the same ShardEnv back to ShardedDb::Open to recover. Tests may
+// substitute storage::FaultFs instances to crash individual shards.
+struct ShardEnv {
+  std::shared_ptr<storage::SimFs> meta_fs;  // holds the super-manifest
+  std::shared_ptr<TrustedPlatform> meta_platform;
+  std::vector<std::shared_ptr<storage::SimFs>> shard_fs;
+  std::vector<std::shared_ptr<TrustedPlatform>> shard_platforms;
+};
+
+// Stable key router shared with tests/benches: FNV-1a 64 over the key
+// bytes, reduced mod num_shards.
+uint32_t ShardForKey(std::string_view key, uint32_t num_shards);
+
+class ShardedDb {
+ public:
+  // Opens (or recovers) a sharded store. `env` may be empty/null for a
+  // fresh store; pass the same env again to reopen. `base` configures every
+  // shard; per-shard names/sealing keys are derived internally.
+  static Result<std::unique_ptr<ShardedDb>> Open(
+      const Options& base, uint32_t num_shards, std::shared_ptr<ShardEnv> env);
+  static Result<std::unique_ptr<ShardedDb>> Create(const Options& base,
+                                                   uint32_t num_shards);
+
+  ~ShardedDb();
+
+  // --- point ops: routed to the owning shard -------------------------------
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+  Result<std::optional<std::string>> Get(std::string_view key);
+  Result<ElsmDb::VerifiedRecord> GetVerified(std::string_view key,
+                                             uint64_t ts_max = kLatest);
+  // Batch write, partitioned per shard; each sub-batch is a single shard
+  // group commit. Not atomic across shards.
+  Status Write(const ElsmDb::WriteBatch& batch);
+
+  // Verified cross-shard range scan: per-shard verified scans, k-way merged
+  // into one globally key-ordered result.
+  Result<std::vector<lsm::Record>> Scan(std::string_view k1,
+                                        std::string_view k2);
+
+  // --- maintenance: fanned out to every shard ------------------------------
+  Status Flush();
+  Status CompactAll();
+  void ScheduleCompaction();
+  Status WaitForCompaction();
+  Status Close();
+
+  // --- introspection -------------------------------------------------------
+  uint32_t num_shards() const { return num_shards_; }
+  uint32_t ShardOf(std::string_view key) const {
+    return ShardForKey(key, num_shards_);
+  }
+  ElsmDb& shard(uint32_t i) { return *shards_[i]; }
+  ShardEnv& env() { return *env_; }
+  sgx::Enclave& meta_enclave() { return *meta_enclave_; }
+  const Options& options() const { return options_; }
+  // Total simulated time across the router and every shard enclave. Each
+  // op advances only its shard's clock, so deltas of this sum price
+  // individual ops; per-shard clocks model shards running on parallel
+  // hardware (see bench/fig_shard_scaling.cc).
+  uint64_t now_ns() const;
+
+  static std::string ShardName(const std::string& base_name, uint32_t shard);
+
+ private:
+  ShardedDb(const Options& base, uint32_t num_shards,
+            std::shared_ptr<ShardEnv> env);
+
+  Status OpenShards();
+  // Verifies the sealed super-manifest against the trusted meta counter and
+  // the shard disks (drop/swap/count/rollback-floor checks). Sets
+  // *found=false when no super-manifest exists (fresh store candidate).
+  Status VerifySuperManifest(bool* found);
+  Status PersistSuperManifest();
+  // Digest + last_ts of shard's on-disk manifest (zero/0 when absent). The
+  // pair snapshots the same sealed blob: the digest pins exact content, the
+  // last_ts is the monotone floor that lets verification tell a shard that
+  // *advanced* past the recorded digest (benign: auto-flushes persist shard
+  // manifests between super refreshes) from one rolled *behind* it.
+  Status ShardManifestState(uint32_t shard, crypto::Hash256* digest,
+                            uint64_t* last_ts) const;
+  std::string shard_manifest_name(uint32_t shard) const {
+    return ShardName(options_.name, shard) + "/MANIFEST";
+  }
+  std::string super_name() const { return options_.name + "/SUPER"; }
+  std::string super_tmp_name() const { return options_.name + "/SUPER.tmp"; }
+
+  Options options_;
+  uint32_t num_shards_;
+  std::shared_ptr<ShardEnv> env_;
+  std::shared_ptr<sgx::Enclave> meta_enclave_;
+  std::vector<std::unique_ptr<ElsmDb>> shards_;
+
+  // Serializes super-manifest writers (Flush/CompactAll/Close); routed
+  // point ops never take it.
+  std::mutex super_mu_;
+  bool closed_ = false;
+};
+
+}  // namespace elsm

@@ -25,7 +25,8 @@ LsmEngine::LsmEngine(LsmOptions options, std::shared_ptr<sgx::Enclave> enclave,
       enclave_(std::move(enclave)),
       fs_(std::move(fs)),
       memtable_(std::make_unique<SkipList>()),
-      tracker_(std::make_shared<FileTracker>(fs_)),
+      tracker_(std::make_shared<FileTracker>(
+          fs_, options_.defer_obsolete_deletion)),
       version_(std::make_shared<Version>(std::vector<LevelMeta>{}, tracker_)),
       wal_(fs_.get(), options_.name + "/wal") {
   memtable_region_ = enclave_->RegisterRegion(options_.memtable_bytes);
@@ -1064,6 +1065,11 @@ Status LsmEngine::ReinsertFromWal(Record record) {
   memtable_used_ += record.ByteSize() + 32;
   memtable_->Insert(std::move(record));
   return Status::Ok();
+}
+
+void LsmEngine::PurgeObsoleteFiles() {
+  tracker_->PurgeParked();
+  PurgeDeadCaches();
 }
 
 Status LsmEngine::ResetWal() {

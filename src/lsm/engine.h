@@ -86,6 +86,10 @@ struct LsmOptions {
   // them for time-travel GETs); tombstone-covered records are still dropped
   // when merging into the deepest level.
   bool keep_old_versions = true;
+  // Park compacted-away files instead of unlinking them; the owner calls
+  // PurgeObsoleteFiles() once the manifest dropping them is durable. Keeps
+  // a crash between version swap and manifest persist recoverable.
+  bool defer_obsolete_deletion = false;
 };
 
 // Everything a CompactionListener returns to seal a freshly built level.
@@ -247,6 +251,9 @@ class LsmEngine {
   Status MaybeCompact();
   // Force-merges the whole stack into a single deepest level.
   Status CompactAll();
+  // Physically deletes files parked under defer_obsolete_deletion. Call
+  // after persisting a manifest that no longer references them.
+  void PurgeObsoleteFiles();
 
   // --- background compaction ----------------------------------------------
   // Requests a MaybeCompact pass on the engine thread (runs it inline when

@@ -143,9 +143,25 @@ std::vector<std::string> FileTracker::DrainDeleted() {
 }
 
 void FileTracker::DeleteLocked(const std::string& name) {
+  if (defer_deletion_) {
+    // Still readable on disk (the last durable manifest may reference it);
+    // PurgeParked unlinks it after the next manifest persist.
+    parked_.insert(name);
+    return;
+  }
   (void)fs_->Delete(name);
   deleted_.push_back(name);
   has_deleted_.store(true, std::memory_order_relaxed);
+}
+
+void FileTracker::PurgeParked() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& name : parked_) {
+    (void)fs_->Delete(name);
+    deleted_.push_back(name);
+  }
+  if (!parked_.empty()) has_deleted_.store(true, std::memory_order_relaxed);
+  parked_.clear();
 }
 
 Version::Version(std::vector<LevelMeta> levels,

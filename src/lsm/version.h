@@ -78,15 +78,26 @@ Result<std::vector<LevelMeta>> DecodeLevels(std::string_view input);
 // version by a compaction) and unreferenced (the last snapshot that could
 // read it has been released). Deletions are recorded so the engine can
 // purge its mmap/block caches lazily.
+//
+// With `defer_deletion`, files that become deletable are *parked* instead
+// of unlinked; PurgeParked() performs the physical deletes. The facade
+// purges only after the manifest that stops referencing those files is
+// durable — otherwise a crash between a compaction's version swap and its
+// manifest persist would leave the recovered (old) manifest pointing at
+// vanished files.
 class FileTracker {
  public:
-  explicit FileTracker(std::shared_ptr<storage::SimFs> fs)
-      : fs_(std::move(fs)) {}
+  explicit FileTracker(std::shared_ptr<storage::SimFs> fs,
+                       bool defer_deletion = false)
+      : fs_(std::move(fs)), defer_deletion_(defer_deletion) {}
 
   void Ref(const std::string& name);
   void Unref(const std::string& name);
   // Marks `name` dead-on-last-unref; deletes immediately if unreferenced.
   void MarkObsolete(const std::string& name);
+  // Physically deletes every parked file (defer_deletion mode). Call once
+  // the manifest no longer referencing them has been persisted.
+  void PurgeParked();
   // Names deleted since the last drain (for cache invalidation).
   std::vector<std::string> DrainDeleted();
   // Cheap pre-check for DrainDeleted (one relaxed atomic load), so the
@@ -99,9 +110,11 @@ class FileTracker {
   void DeleteLocked(const std::string& name);
 
   std::shared_ptr<storage::SimFs> fs_;
+  const bool defer_deletion_;
   std::mutex mu_;
   std::map<std::string, int> refs_;
   std::set<std::string> obsolete_;
+  std::set<std::string> parked_;  // deletable, awaiting a durable manifest
   std::vector<std::string> deleted_;
   std::atomic<bool> has_deleted_{false};
 };

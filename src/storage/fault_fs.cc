@@ -1,0 +1,92 @@
+#include "storage/fault_fs.h"
+
+#include <algorithm>
+
+namespace elsm::storage {
+
+void FaultFs::ScheduleCrash(uint64_t ops_from_now, double keep_fraction) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  crash_at_ = ops_ + std::max<uint64_t>(1, ops_from_now);
+  keep_fraction_ = std::clamp(keep_fraction, 0.0, 1.0);
+}
+
+void FaultFs::CrashNow() {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  crashed_ = true;
+  crash_at_ = 0;
+  if (crash_op_.empty()) crash_op_ = "manual";
+}
+
+void FaultFs::ClearCrash() {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  crashed_ = false;
+  crash_at_ = 0;
+}
+
+bool FaultFs::crashed() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return crashed_;
+}
+
+std::string FaultFs::crash_op() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return crash_op_;
+}
+
+uint64_t FaultFs::mutating_ops() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return ops_;
+}
+
+bool FaultFs::CountOp(const char* kind, double* keep) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  *keep = -1.0;
+  if (crashed_) return true;
+  ++ops_;
+  if (crash_at_ != 0 && ops_ >= crash_at_) {
+    crashed_ = true;
+    crash_at_ = 0;
+    crash_op_ = kind;
+    *keep = keep_fraction_;
+    return true;
+  }
+  return false;
+}
+
+Status FaultFs::Write(const std::string& name, std::string contents) {
+  double keep = -1.0;
+  if (CountOp("write", &keep)) {
+    if (keep >= 0.0) {
+      (void)SimFs::Write(
+          name, contents.substr(0, size_t(double(contents.size()) * keep)));
+    }
+    return CrashedStatus();
+  }
+  return SimFs::Write(name, std::move(contents));
+}
+
+Status FaultFs::Append(const std::string& name, std::string_view data) {
+  double keep = -1.0;
+  if (CountOp("append", &keep)) {
+    if (keep >= 0.0) {
+      (void)SimFs::Append(name,
+                          data.substr(0, size_t(double(data.size()) * keep)));
+    }
+    return CrashedStatus();
+  }
+  return SimFs::Append(name, data);
+}
+
+Status FaultFs::Delete(const std::string& name) {
+  double keep = -1.0;
+  if (CountOp("delete", &keep)) return CrashedStatus();
+  return SimFs::Delete(name);
+}
+
+Status FaultFs::Rename(const std::string& from, const std::string& to) {
+  double keep = -1.0;
+  if (CountOp("rename", &keep)) return CrashedStatus();
+  return SimFs::Rename(from, to);
+}
+
+}  // namespace elsm::storage

@@ -1,0 +1,67 @@
+// Fault-injecting filesystem for crash-recovery testing.
+//
+// FaultFs wraps SimFs and counts mutating operations (Write / Append /
+// Delete / Rename). ScheduleCrash(n) arms a "power failure" n mutating ops
+// from now: the n-th op is *torn* — only a prefix of its payload reaches
+// the disk (Write/Append; Delete/Rename simply do not happen) — and every
+// later mutating op fails with IOError until ClearCrash(). Reads keep
+// working throughout: after the crash the recovery path inspects the same
+// (torn) disk image, exactly like a reboot over a real block device.
+//
+// The torn op also returns IOError, because in a real crash the caller
+// never observes completion — tests must treat the in-flight op as
+// indeterminate (it may or may not have (partially) landed).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "storage/simfs.h"
+
+namespace elsm::storage {
+
+class FaultFs : public SimFs {
+ public:
+  explicit FaultFs(std::shared_ptr<sgx::Enclave> enclave)
+      : SimFs(std::move(enclave)) {}
+
+  // Crash on the `ops_from_now`-th mutating op from now (1 = the very next
+  // one). That op keeps only floor(bytes * keep_fraction) of its payload;
+  // 0.0 drops it entirely, values in (0,1) model a torn sector.
+  void ScheduleCrash(uint64_t ops_from_now, double keep_fraction = 0.0);
+  // Fail every mutating op from now on (nothing is torn).
+  void CrashNow();
+  // Lift the failure so the store can be reopened on the surviving image.
+  void ClearCrash();
+
+  bool crashed() const;
+  // Kind of the op the crash landed on ("append", "write", "delete",
+  // "rename"), empty until the crash fires. Lets tests report coverage of
+  // the crash surface across seeds.
+  std::string crash_op() const;
+  uint64_t mutating_ops() const;
+
+  Status Write(const std::string& name, std::string contents) override;
+  Status Append(const std::string& name, std::string_view data) override;
+  Status Delete(const std::string& name) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+
+ private:
+  // Returns true when the caller must fail with IOError; sets *keep to the
+  // payload fraction to land when this op is the crash point (and to a
+  // negative value otherwise, meaning "nothing lands").
+  bool CountOp(const char* kind, double* keep);
+  static Status CrashedStatus() {
+    return Status::IOError("simulated crash: disk is gone");
+  }
+
+  mutable std::mutex fault_mu_;
+  uint64_t ops_ = 0;
+  uint64_t crash_at_ = 0;  // 0 = disarmed; otherwise absolute op index
+  double keep_fraction_ = 0.0;
+  bool crashed_ = false;
+  std::string crash_op_;
+};
+
+}  // namespace elsm::storage

@@ -8,6 +8,11 @@
 // Blobs are handed out as shared_ptr so MmapRegion keeps content alive past
 // Delete (real mmap-after-unlink semantics). MutableBlob exists for the
 // adversary harness: a malicious host tampering with on-disk bytes.
+//
+// The mutating entry points (Write/Append/Delete/Rename) are virtual so a
+// fault-injection wrapper (storage/fault_fs.h) can tear or drop them at a
+// simulated crash point; reads stay non-virtual — a crashed disk is still
+// readable by the recovery path.
 #pragma once
 
 #include <cstdint>
@@ -27,20 +32,21 @@ class SimFs {
  public:
   explicit SimFs(std::shared_ptr<sgx::Enclave> enclave)
       : enclave_(std::move(enclave)) {}
+  virtual ~SimFs() = default;
 
   // Creates or replaces `name` with `contents`.
-  Status Write(const std::string& name, std::string contents);
+  virtual Status Write(const std::string& name, std::string contents);
   // Appends to `name`, creating it if missing (WAL-style framing is the
   // caller's concern).
-  Status Append(const std::string& name, std::string_view data);
+  virtual Status Append(const std::string& name, std::string_view data);
 
   Result<std::string> Read(const std::string& name, uint64_t offset,
                            uint64_t len) const;
   Result<std::string> ReadAll(const std::string& name) const;
   Result<uint64_t> FileSize(const std::string& name) const;
 
-  Status Delete(const std::string& name);
-  Status Rename(const std::string& from, const std::string& to);
+  virtual Status Delete(const std::string& name);
+  virtual Status Rename(const std::string& from, const std::string& to);
   bool Exists(const std::string& name) const;
   std::vector<std::string> List(std::string_view prefix) const;
 
