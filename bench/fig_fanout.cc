@@ -1,0 +1,188 @@
+// Cross-shard fan-out (repo extension, ROADMAP "parallel cross-shard scan
+// fan-out and batch fan-out"): latency of cross-shard Scan / MultiGet /
+// PutBatch on the sequential router loop vs the parallel fan-out pool
+// (Options::fanout_threads), across 1/2/4/8 shards.
+//
+// Methodology (same per-shard simulated clocks as fig_shard_scaling): an op
+// advances only the clocks of the shards it touches. The sequential path
+// visits shards one after another on one core, so its latency is the SUM of
+// the per-shard deltas; the parallel path runs the per-shard work on the
+// pool (shards modeled as pinned to separate cores), so its latency is the
+// MAX delta. The router-side merge/reassembly cost (meta enclave) is added
+// to both. Both paths execute for real — sequential on a pool-less store,
+// parallel with fanout_threads=8 — and the bench asserts their results are
+// byte-identical before reporting.
+//
+// Expected shape: speedup ~ shard count on balanced cross-shard ops —
+// >= 3x on MultiGet/Scan at 8 shards — and 1x at one shard (nothing to fan
+// out; the pool must not cost latency it cannot win back).
+#include "bench_common.h"
+
+#include <vector>
+
+#include "elsm/sharded_db.h"
+
+using namespace elsm;
+using namespace elsm::bench;
+
+namespace {
+
+constexpr uint32_t kFanoutThreads = 8;
+
+std::unique_ptr<ShardedDb> BuildSharded(uint32_t shards, uint32_t threads,
+                                        uint64_t records) {
+  Options o = BaseOptions(Mode::kP2);
+  o.name = "ffan";
+  o.fanout_threads = threads;
+  auto opened = ShardedDb::Create(o, shards);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "sharded open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::abort();
+  }
+  auto db = std::move(opened).value();
+  // Load through the batch path in cross-shard groups, as a fan-out user
+  // would.
+  ElsmDb::WriteBatch batch;
+  for (uint64_t i = 0; i < records; ++i) {
+    batch.Put(ycsb::MakeKey(i, 16), ycsb::MakeValue(i, 100));
+    if (batch.entries.size() == 256 || i + 1 == records) {
+      if (!db->Write(batch).ok()) std::abort();
+      batch.entries.clear();
+    }
+  }
+  return db;
+}
+
+// Runs `op` once and prices it under both execution models: sequential =
+// sum of per-shard clock deltas, parallel = max delta; the router (meta
+// enclave) delta is added to both.
+struct OpCost {
+  double seq_us = 0;
+  double par_us = 0;
+};
+
+template <typename Fn>
+OpCost Measure(ShardedDb& db, Fn&& op) {
+  const uint32_t shards = db.num_shards();
+  std::vector<uint64_t> start(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    start[s] = db.shard(s).enclave().now_ns();
+  }
+  const uint64_t meta_start = db.meta_enclave().now_ns();
+  op();
+  const uint64_t meta = db.meta_enclave().now_ns() - meta_start;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  for (uint32_t s = 0; s < shards; ++s) {
+    const uint64_t elapsed = db.shard(s).enclave().now_ns() - start[s];
+    sum += elapsed;
+    max = std::max(max, elapsed);
+  }
+  OpCost cost;
+  cost.seq_us = double(sum + meta) / 1e3;
+  cost.par_us = double(max + meta) / 1e3;
+  return cost;
+}
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fig_fanout: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fan-out", "cross-shard Scan/MultiGet/PutBatch: sequential vs "
+              "parallel fan-out (ShardedDb + ThreadPool)",
+              ">=3x speedup on cross-shard MultiGet/Scan at 8 shards");
+
+  const uint64_t records = RecordsFor(1024);
+  const uint64_t kMultiGetKeys = 512;
+  const uint64_t kBatchKeys = 512;
+  const uint64_t scan_lo = records / 4;
+  const uint64_t scan_hi = scan_lo + std::min<uint64_t>(records / 4, 2000);
+
+  std::printf("%8s %16s %16s %16s\n", "shards", "scan seq/par(us)",
+              "mget seq/par(us)", "batch seq/par(us)");
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    // Two identically loaded stores: pool-less (the sequential code path)
+    // and pooled (the parallel one). The clock models price each path; the
+    // result comparison keeps both paths honest.
+    auto seq_db = BuildSharded(shards, 0, records);
+    auto par_db = BuildSharded(shards, kFanoutThreads, records);
+
+    // --- cross-shard Scan -------------------------------------------------
+    std::vector<lsm::Record> seq_scan;
+    std::vector<lsm::Record> par_scan;
+    const OpCost scan_seq = Measure(*seq_db, [&] {
+      auto got = seq_db->Scan(ycsb::MakeKey(scan_lo, 16),
+                              ycsb::MakeKey(scan_hi, 16));
+      Require(got.ok(), "sequential scan failed");
+      seq_scan = std::move(got).value();
+    });
+    const OpCost scan_par = Measure(*par_db, [&] {
+      auto got = par_db->Scan(ycsb::MakeKey(scan_lo, 16),
+                              ycsb::MakeKey(scan_hi, 16));
+      Require(got.ok(), "parallel scan failed");
+      par_scan = std::move(got).value();
+    });
+    Require(seq_scan.size() == par_scan.size(), "scan result sizes diverge");
+    for (size_t i = 0; i < seq_scan.size(); ++i) {
+      Require(seq_scan[i] == par_scan[i], "scan results diverge");
+    }
+
+    // --- cross-shard MultiGet ---------------------------------------------
+    Rng rng(0xfa4 + shards);
+    std::vector<std::string> keys;
+    keys.reserve(kMultiGetKeys);
+    for (uint64_t i = 0; i < kMultiGetKeys; ++i) {
+      keys.push_back(ycsb::MakeKey(rng.Uniform(records), 16));
+    }
+    std::vector<std::optional<std::string>> seq_mg;
+    std::vector<std::optional<std::string>> par_mg;
+    const OpCost mg_seq = Measure(*seq_db, [&] {
+      auto got = seq_db->MultiGet(keys);
+      Require(got.ok(), "sequential multiget failed");
+      seq_mg = std::move(got).value();
+    });
+    const OpCost mg_par = Measure(*par_db, [&] {
+      auto got = par_db->MultiGet(keys);
+      Require(got.ok(), "parallel multiget failed");
+      par_mg = std::move(got).value();
+    });
+    Require(seq_mg == par_mg, "multiget results diverge");
+
+    // --- cross-shard PutBatch ---------------------------------------------
+    ElsmDb::WriteBatch batch;
+    for (uint64_t i = 0; i < kBatchKeys; ++i) {
+      const uint64_t k = rng.Uniform(records);
+      batch.Put(ycsb::MakeKey(k, 16), ycsb::MakeValue(k + 7, 100));
+    }
+    const OpCost batch_seq = Measure(*seq_db, [&] {
+      Require(seq_db->Write(batch).ok(), "sequential batch failed");
+    });
+    const OpCost batch_par = Measure(*par_db, [&] {
+      Require(par_db->Write(batch).ok(), "parallel batch failed");
+    });
+
+    std::printf("%8u %7.1f/%-8.1f %7.1f/%-8.1f %7.1f/%-8.1f"
+                "  (scan %.2fx, mget %.2fx, batch %.2fx)\n",
+                shards, scan_seq.seq_us, scan_par.par_us, mg_seq.seq_us,
+                mg_par.par_us, batch_seq.seq_us, batch_par.par_us,
+                scan_seq.seq_us / scan_par.par_us,
+                mg_seq.seq_us / mg_par.par_us,
+                batch_seq.seq_us / batch_par.par_us);
+    ReportRow("fig_fanout", "scan-seq", "shards", shards, scan_seq.seq_us);
+    ReportRow("fig_fanout", "scan-par", "shards", shards, scan_par.par_us);
+    ReportRow("fig_fanout", "multiget-seq", "shards", shards, mg_seq.seq_us);
+    ReportRow("fig_fanout", "multiget-par", "shards", shards, mg_par.par_us);
+    ReportRow("fig_fanout", "putbatch-seq", "shards", shards,
+              batch_seq.seq_us);
+    ReportRow("fig_fanout", "putbatch-par", "shards", shards,
+              batch_par.par_us);
+  }
+  return 0;
+}

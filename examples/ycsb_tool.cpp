@@ -2,12 +2,18 @@
 // (p2, p2-buffer, p1, unsecured, eleos, btree) at a chosen scale and print
 // load/run statistics — the interactive counterpart of the bench/ binaries.
 //
-//   $ ./build/examples/ycsb_tool [workload] [engine] [records] [ops] [--shards=N]
+//   $ ./build/examples/ycsb_tool [workload] [engine] [records] [ops]
+//         (plus optional --shards=N --fanout-threads=N anywhere in argv)
 //   $ ./build/examples/ycsb_tool A p2 20000 10000
 //   $ ./build/examples/ycsb_tool A p2 20000 10000 --shards=4
+//   $ ./build/examples/ycsb_tool E p2 20000 10000 --shards=8 --fanout-threads=8
 //
 // --shards=N (N > 1) routes the eLSM engines (p2, p2-buffer, p1, unsecured)
 // through the hash-partitioned ShardedDb router; baselines ignore it.
+// --fanout-threads=N gives the router a shared worker pool so cross-shard
+// scans and batch writes dispatch per-shard work in parallel (0 =
+// sequential); it only matters together with --shards.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -70,13 +76,20 @@ void PrintStats(const char* phase, const RunStats& stats) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Pull --shards=N out of argv so the positional arguments stay stable.
+  // Pull --shards=N / --fanout-threads=N out of argv so the positional
+  // arguments stay stable.
   uint32_t shards = 1;
+  uint32_t fanout_threads = 0;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = uint32_t(strtoul(argv[i] + 9, nullptr, 10));
       if (shards == 0) shards = 1;
+    } else if (std::strncmp(argv[i], "--fanout-threads=", 17) == 0) {
+      // Clamp: a negative/garbage value would wrap through strtoul into a
+      // few billion spawned threads.
+      fanout_threads = uint32_t(std::min(strtoul(argv[i] + 17, nullptr, 10),
+                                         64ul));
     } else {
       args.push_back(argv[i]);
     }
@@ -91,9 +104,10 @@ int main(int argc, char** argv) {
   spec.record_count = records;
   spec.operation_count = ops;
 
-  std::printf("YCSB workload %s on engine %s (%u shard%s): %llu records, "
-              "%llu ops\n",
+  std::printf("YCSB workload %s on engine %s (%u shard%s, %u fan-out "
+              "thread%s): %llu records, %llu ops\n",
               spec.name.c_str(), engine_name, shards, shards == 1 ? "" : "s",
+              fanout_threads, fanout_threads == 1 ? "" : "s",
               (unsigned long long)records, (unsigned long long)ops);
 
   YcsbRunner runner(spec);
@@ -129,6 +143,7 @@ int main(int argc, char** argv) {
                               : lsm::ReadPathKind::kMmap;
     }
     if (shards > 1) {
+      options.fanout_threads = fanout_threads;
       auto opened = ShardedDb::Create(options, shards);
       if (!opened.ok()) {
         std::fprintf(stderr, "open failed: %s\n",
@@ -173,9 +188,15 @@ int main(int argc, char** argv) {
       flushes += sharded->shard(i).engine().stats().flushes.load();
       compactions += sharded->shard(i).engine().stats().compactions.load();
     }
-    std::printf("sharded: shards=%u flushes=%llu compactions=%llu\n",
+    const auto& fan = sharded->fanout_stats();
+    std::printf("sharded: shards=%u flushes=%llu compactions=%llu "
+                "parallel-dispatches=%llu scan-invocations=%llu "
+                "scan-skips=%llu\n",
                 sharded->num_shards(), (unsigned long long)flushes,
-                (unsigned long long)compactions);
+                (unsigned long long)compactions,
+                (unsigned long long)fan.parallel_dispatches.load(),
+                (unsigned long long)fan.scan_shard_invocations.load(),
+                (unsigned long long)fan.scan_shards_skipped.load());
   }
   if (db != nullptr) {
     const auto counters = db->enclave().counters();

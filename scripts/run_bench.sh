@@ -56,6 +56,7 @@ FIG_BENCHES=(
   fig7a_write_scaling
   fig7b_compaction_onoff
   fig8_write_buffer
+  fig_fanout
   fig_shard_scaling
   micro_enclave
   ablation_design_choices

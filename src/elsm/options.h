@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "lsm/engine.h"
 #include "sgxsim/cost_model.h"
 
@@ -55,6 +57,19 @@ struct Options {
   // disable it to keep the measured path free of manifest-sealing costs;
   // Close() always persists.
   bool persist_manifest_on_flush = true;
+
+  // --- cross-shard fan-out (ShardedDb only; ElsmDb ignores these) ----------
+  // Worker threads for parallel cross-shard Scan/MultiGet/Write fan-out.
+  // 0 = sequential fallback: every cross-shard op visits its shards one at
+  // a time on the calling thread (the pre-fan-out behavior). Shards are
+  // fully independent stores and the calling thread runs one partition
+  // itself (caller-runs), so a pool of min(num_shards - 1, cores - 1)
+  // captures all available parallelism; larger pools only add queueing.
+  uint32_t fanout_threads = 0;
+  // Share one pool between stores (many ShardedDbs in one process should
+  // not each spawn their own workers). When null and fanout_threads > 0,
+  // ShardedDb creates a private pool of that size.
+  std::shared_ptr<common::ThreadPool> fanout_pool;
 
   // --- confidentiality (§5.6.2) ---------------------------------------------
   bool encrypt_values = false;             // semantically secure values

@@ -41,6 +41,11 @@ ShardedDb::ShardedDb(const Options& base, uint32_t num_shards,
       env_(std::move(env)),
       meta_enclave_(std::make_shared<sgx::Enclave>(
           base.cost_model, base.mode != Mode::kUnsecured)) {
+  if (options_.fanout_pool != nullptr) {
+    pool_ = options_.fanout_pool;
+  } else if (options_.fanout_threads > 0) {
+    pool_ = std::make_shared<common::ThreadPool>(options_.fanout_threads);
+  }
   if (env_->meta_platform == nullptr) {
     env_->meta_platform = std::make_shared<TrustedPlatform>();
   }
@@ -288,40 +293,130 @@ Result<ElsmDb::VerifiedRecord> ShardedDb::GetVerified(std::string_view key,
   return shards_[ShardOf(key)]->GetVerified(key, ts_max);
 }
 
-Status ShardedDb::Write(const ElsmDb::WriteBatch& batch) {
-  std::vector<ElsmDb::WriteBatch> parts(num_shards_);
-  for (const ElsmDb::WriteBatch::Entry& entry : batch.entries) {
-    parts[ShardOf(entry.key)].entries.push_back(entry);
+Status ShardedDb::FanOut(const std::vector<uint32_t>& targets,
+                         const std::function<Status(size_t, uint32_t)>& fn) {
+  if (targets.empty()) return Status::Ok();
+  std::vector<Status> statuses(targets.size());
+  if (pool_ != nullptr && pool_->size() > 0 && targets.size() > 1) {
+    fanout_stats_.parallel_dispatches.fetch_add(1, std::memory_order_relaxed);
+    pool_->ParallelFor(targets.size(),
+                       [&](size_t i) { statuses[i] = fn(i, targets[i]); });
+  } else {
+    for (size_t i = 0; i < targets.size(); ++i) {
+      statuses[i] = fn(i, targets[i]);
+    }
   }
-  for (uint32_t i = 0; i < num_shards_; ++i) {
-    if (parts[i].entries.empty()) continue;
-    Status s = shards_[i]->Write(parts[i]);
+  for (const Status& s : statuses) {
     if (!s.ok()) return s;
   }
   return Status::Ok();
 }
 
+Status ShardedDb::Write(const ElsmDb::WriteBatch& batch) {
+  fanout_stats_.batch_writes.fetch_add(1, std::memory_order_relaxed);
+  std::vector<ElsmDb::WriteBatch> parts(num_shards_);
+  for (const ElsmDb::WriteBatch::Entry& entry : batch.entries) {
+    parts[ShardOf(entry.key)].entries.push_back(entry);
+  }
+  std::vector<uint32_t> targets;
+  targets.reserve(num_shards_);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    if (!parts[i].entries.empty()) targets.push_back(i);
+  }
+  // Each sub-batch is one shard group commit (own WAL append + memtable
+  // pass + any auto-flush it triggers); shards share no locks, so the
+  // sub-batches proceed fully independently on the pool.
+  return FanOut(targets, [&](size_t, uint32_t shard) {
+    return shards_[shard]->Write(parts[shard]);
+  });
+}
+
+Result<std::vector<std::optional<std::string>>> ShardedDb::MultiGet(
+    const std::vector<std::string>& keys) {
+  fanout_stats_.multigets.fetch_add(1, std::memory_order_relaxed);
+  // Group key *positions* by owning shard so duplicates each keep their own
+  // slot and the output preserves input order by construction.
+  std::vector<std::vector<size_t>> groups(num_shards_);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    groups[ShardOf(keys[i])].push_back(i);
+  }
+  std::vector<uint32_t> targets;
+  targets.reserve(num_shards_);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    if (!groups[i].empty()) targets.push_back(i);
+  }
+  std::vector<std::optional<std::string>> out(keys.size());
+  // Tasks write disjoint slots of `out` (each position belongs to exactly
+  // one shard group), so no synchronization beyond the fork-join is needed.
+  Status s = FanOut(targets, [&](size_t, uint32_t shard) {
+    for (size_t idx : groups[shard]) {
+      auto got = shards_[shard]->Get(keys[idx]);
+      if (!got.ok()) return got.status();
+      out[idx] = std::move(got).value();
+    }
+    return Status::Ok();
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
 Result<std::vector<lsm::Record>> ShardedDb::Scan(std::string_view k1,
                                                  std::string_view k2) {
+  fanout_stats_.scans.fetch_add(1, std::memory_order_relaxed);
+  if (options_.deterministic_key_encryption) {
+    // Match ElsmDb::Scan: a misconfigured store must surface the error for
+    // every range — including ones the short-circuits below would answer
+    // without ever consulting a shard.
+    return Status::NotSupported(
+        "range queries over DE keys require order-preserving encryption");
+  }
+  // Short-circuit shards that provably cannot intersect the inclusive
+  // range [k1, k2] under hash routing: an empty range touches no shard,
+  // a single-key range only the key's owner. (Any wider range can hash
+  // anywhere, so no other pruning is sound.)
+  if (k1 > k2) {
+    fanout_stats_.scan_shards_skipped.fetch_add(num_shards_,
+                                                std::memory_order_relaxed);
+    return std::vector<lsm::Record>();
+  }
+  std::vector<uint32_t> targets;
+  if (k1 == k2) {
+    targets.push_back(ShardOf(k1));
+    fanout_stats_.scan_shards_skipped.fetch_add(num_shards_ - 1,
+                                                std::memory_order_relaxed);
+  } else {
+    targets.reserve(num_shards_);
+    for (uint32_t i = 0; i < num_shards_; ++i) targets.push_back(i);
+  }
+  fanout_stats_.scan_shard_invocations.fetch_add(targets.size(),
+                                                 std::memory_order_relaxed);
+
   // Fan out: each shard's Scan is completeness-verified against that
   // shard's own trusted digests (inside ElsmDb). The hash partition makes
   // shard key sets disjoint, so merging the verified per-shard results
   // yields a complete, duplicate-free global range.
-  std::vector<std::unique_ptr<lsm::RunIterator>> runs;
-  runs.reserve(num_shards_);
-  for (uint32_t i = 0; i < num_shards_; ++i) {
-    auto records = shards_[i]->Scan(k1, k2);
+  std::vector<std::vector<lsm::Record>> results(targets.size());
+  Status s = FanOut(targets, [&](size_t slot, uint32_t shard) {
+    auto records = shards_[shard]->Scan(k1, k2);
     if (!records.ok()) return records.status();
+    results[slot] = std::move(records).value();
+    return Status::Ok();
+  });
+  if (!s.ok()) return s;
+
+  std::vector<std::unique_ptr<lsm::RunIterator>> runs;
+  runs.reserve(results.size());
+  for (std::vector<lsm::Record>& records : results) {
     std::vector<lsm::RawEntry> run;
-    run.reserve(records.value().size());
-    for (lsm::Record& r : records.value()) {
+    run.reserve(records.size());
+    for (lsm::Record& r : records) {
       run.push_back({std::move(r), {}, {}});
     }
     runs.push_back(std::make_unique<lsm::VectorRunIterator>(std::move(run)));
   }
 
   lsm::MergeIterator merge(std::move(runs), nullptr, nullptr);
-  Status s = merge.Init();
+  s = merge.Init();
   if (!s.ok()) return s;
   std::vector<lsm::Record> out;
   while (merge.Valid()) {

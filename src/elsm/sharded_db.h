@@ -12,6 +12,17 @@
 // digests inside ElsmDb) and k-way merges the already-verified results
 // with the lsm::MergeIterator machinery.
 //
+// Cross-shard fan-out (Options::fanout_threads): Scan, MultiGet and Write
+// dispatch their per-shard work onto a shared common::ThreadPool when one
+// is configured, turning the router loop into a parallel query engine.
+// With fanout_threads == 0 every op visits its shards sequentially on the
+// calling thread. Both paths are result- and proof-equivalent: the same
+// per-shard verified operations run either way, only the dispatch differs,
+// and errors are reported deterministically (the failing shard with the
+// lowest index wins, so parallel and sequential calls surface the same
+// status). A failure on any shard fails the whole operation — no partial
+// results ever escape.
+//
 // Cross-shard trust (the "super-manifest"): a sealed file binding
 //   shard count | meta monotonic counter |
 //   per-shard (manifest digest, manifest last_ts floor)
@@ -30,13 +41,17 @@
 // applied per shard (each sub-batch atomically); timestamps are per-shard.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "crypto/sha256.h"
 #include "elsm/elsm_db.h"
 
@@ -76,11 +91,28 @@ class ShardedDb {
   Result<ElsmDb::VerifiedRecord> GetVerified(std::string_view key,
                                              uint64_t ts_max = kLatest);
   // Batch write, partitioned per shard; each sub-batch is a single shard
-  // group commit. Not atomic across shards.
+  // group commit, dispatched to the fan-out pool when one is configured.
+  // Not atomic across shards: on error some shards may have committed their
+  // sub-batch (the returned status is the lowest failing shard's), so the
+  // caller must treat every key of the batch as indeterminate.
   Status Write(const ElsmDb::WriteBatch& batch);
 
-  // Verified cross-shard range scan: per-shard verified scans, k-way merged
-  // into one globally key-ordered result.
+  // Batched point lookups: keys are grouped by owning shard, the per-shard
+  // groups run on the fan-out pool, and the per-key results are reassembled
+  // in input order (duplicate keys allowed — each slot answers for its own
+  // position). Every key is individually proof-verified inside its shard,
+  // exactly as a lone Get would be. Fail-closed: any per-key failure
+  // (AuthFailure & friends) fails the whole call with that shard's status —
+  // never a partial result vector.
+  Result<std::vector<std::optional<std::string>>> MultiGet(
+      const std::vector<std::string>& keys);
+
+  // Verified cross-shard range scan over the inclusive range [k1, k2]:
+  // per-shard verified scans (parallel on the fan-out pool), k-way merged
+  // into one globally key-ordered result. Shards that provably cannot hold
+  // a key of the range are skipped without opening iterators: every shard
+  // when k1 > k2, all but ShardOf(k1) when k1 == k2 (hash routing admits no
+  // wider pruning; fanout_stats() counts invocations vs skips).
   Result<std::vector<lsm::Record>> Scan(std::string_view k1,
                                         std::string_view k2);
 
@@ -92,6 +124,22 @@ class ShardedDb {
   Status Close();
 
   // --- introspection -------------------------------------------------------
+  // Fan-out observability: how often cross-shard ops ran, how many
+  // per-shard scans were actually issued vs short-circuited away, and how
+  // many ops dispatched in parallel (vs the sequential fallback).
+  struct FanoutStats {
+    std::atomic<uint64_t> scans{0};
+    std::atomic<uint64_t> scan_shard_invocations{0};
+    std::atomic<uint64_t> scan_shards_skipped{0};
+    std::atomic<uint64_t> multigets{0};
+    std::atomic<uint64_t> batch_writes{0};
+    std::atomic<uint64_t> parallel_dispatches{0};
+  };
+  const FanoutStats& fanout_stats() const { return fanout_stats_; }
+  // The pool cross-shard ops dispatch onto (null = sequential fallback).
+  const std::shared_ptr<common::ThreadPool>& fanout_pool() const {
+    return pool_;
+  }
   uint32_t num_shards() const { return num_shards_; }
   uint32_t ShardOf(std::string_view key) const {
     return ShardForKey(key, num_shards_);
@@ -113,6 +161,14 @@ class ShardedDb {
             std::shared_ptr<ShardEnv> env);
 
   Status OpenShards();
+  // Runs fn(slot, targets[slot]) for every slot — concurrently on the
+  // fan-out pool when one is configured and more than one target exists,
+  // inline in slot order otherwise. All targets run even after a failure
+  // (matching the parallel path, where siblings are already in flight);
+  // the returned status is the lowest failing slot's, so both dispatch
+  // modes surface identical errors.
+  Status FanOut(const std::vector<uint32_t>& targets,
+                const std::function<Status(size_t, uint32_t)>& fn);
   // Verifies the sealed super-manifest against the trusted meta counter and
   // the shard disks (drop/swap/count/rollback-floor checks). Sets
   // *found=false when no super-manifest exists (fresh store candidate).
@@ -136,6 +192,8 @@ class ShardedDb {
   std::shared_ptr<ShardEnv> env_;
   std::shared_ptr<sgx::Enclave> meta_enclave_;
   std::vector<std::unique_ptr<ElsmDb>> shards_;
+  std::shared_ptr<common::ThreadPool> pool_;  // null = sequential fallback
+  FanoutStats fanout_stats_;
 
   // Serializes super-manifest writers (Flush/CompactAll/Close); routed
   // point ops never take it.

@@ -33,6 +33,21 @@ class KvInterface {
     return Status::Ok();
   }
   virtual Result<std::optional<std::string>> Get(std::string_view key) = 0;
+  // Batched point lookups, results in input order (slot i answers keys[i]).
+  // Stores with a cross-shard fan-out path override this; the default
+  // degrades to per-key Gets. Fail-closed: any per-key error fails the
+  // whole call.
+  virtual Result<std::vector<std::optional<std::string>>> MultiGet(
+      const std::vector<std::string>& keys) {
+    std::vector<std::optional<std::string>> out;
+    out.reserve(keys.size());
+    for (const std::string& key : keys) {
+      auto got = Get(key);
+      if (!got.ok()) return got.status();
+      out.push_back(std::move(got).value());
+    }
+    return out;
+  }
   // Range scan of up to `limit` records starting at `start_key`. Returns the
   // number of records produced.
   virtual Result<size_t> Scan(std::string_view start_key,
@@ -70,9 +85,11 @@ class ElsmKv : public KvInterface {
 };
 
 // Hash-partitioned multi-shard store; the batch load path partitions per
-// shard, so each shard sees one group commit per batch. Latency comes from
-// the summed shard clocks: an op advances only its shard's enclave, so the
-// delta prices exactly that op.
+// shard, so each shard sees one group commit per batch (dispatched to the
+// fan-out pool when Options::fanout_threads is set), and MultiGet rides
+// the parallel cross-shard path. Latency comes from the summed shard
+// clocks: an op advances only its shard's enclave, so the delta prices
+// exactly that op.
 class ShardedKv : public KvInterface {
  public:
   explicit ShardedKv(ShardedDb* db) : db_(db) {}
@@ -88,6 +105,10 @@ class ShardedKv : public KvInterface {
   }
   Result<std::optional<std::string>> Get(std::string_view key) override {
     return db_->Get(key);
+  }
+  Result<std::vector<std::optional<std::string>>> MultiGet(
+      const std::vector<std::string>& keys) override {
+    return db_->MultiGet(keys);
   }
   Result<size_t> Scan(std::string_view start_key, std::string_view end_key,
                       size_t limit) override {
