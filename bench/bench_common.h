@@ -136,7 +136,7 @@ inline Options BaseOptions(Mode mode) {
 // dominated by whether one happened to fall inside; amortizing over half
 // the load is deterministic and steady.
 struct Store {
-  std::shared_ptr<storage::SimFs> fs;
+  std::shared_ptr<storage::Fs> fs;
   std::shared_ptr<TrustedPlatform> platform;
   std::unique_ptr<ElsmDb> db;
   double put_us = 0;
@@ -147,7 +147,7 @@ inline Store BuildStore(const Options& options, uint64_t records) {
   store.platform = std::make_shared<TrustedPlatform>();
   auto enclave = std::make_shared<sgx::Enclave>(options.cost_model,
                                                 options.mode != Mode::kUnsecured);
-  store.fs = std::make_shared<storage::SimFs>(enclave);
+  store.fs = storage::MakeFs(options.backend, options.backend_dir, enclave);
   auto db = ElsmDb::Open(options, store.fs, store.platform);
   if (!db.ok()) {
     std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());

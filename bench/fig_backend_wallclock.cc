@@ -1,0 +1,157 @@
+// Backend wall-clock comparison — the first real-hardware numbers next to
+// the simulated-clock figures (ISSUE 5: pluggable storage backends).
+//
+// Runs the same P2 load / point-read / scan workload on each storage
+// backend and reports *wall-clock* microseconds per op ("us_wall" rows —
+// machine-dependent, so compare_bench.py never gates on them):
+//   * sim          — in-memory SimFs, the memory-resident paper setup
+//   * posix        — PosixFs on a throwaway directory, fsync-honest
+//                    (every acknowledged put pays a real WAL fsync)
+//   * posix-nosync — same files with Options::sync_writes off: the
+//                    no-durability upper bound, isolating the fsync price
+//
+// ELSM_BENCH_BACKEND (comma list, default "sim,posix,posix-nosync")
+// selects the series; scripts/run_bench.sh --backend sets it.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+
+using namespace elsm;
+using namespace elsm::bench;
+
+namespace {
+
+double UsSince(std::chrono::steady_clock::time_point start, uint64_t ops) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::micro>(elapsed).count() /
+         double(ops);
+}
+
+struct BackendSpec {
+  std::string series;
+  storage::BackendKind kind;
+  bool sync_writes;
+};
+
+void RunBackend(const BackendSpec& spec, uint64_t records, uint64_t ops) {
+  Options o = BaseOptions(Mode::kP2);
+  o.name = "wallclock";
+  o.backend = spec.kind;
+  o.sync_writes = spec.sync_writes;
+  // Unlike the simulated figures, manifests persist on flush here: the
+  // whole point is pricing the durable write path end to end.
+  o.persist_manifest_on_flush = true;
+
+  std::string dir;
+  if (spec.kind == storage::BackendKind::kPosix) {
+    char tmpl[] = "/tmp/elsm-bench-XXXXXX";
+    const char* made = mkdtemp(tmpl);
+    if (made == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed; skipping %s\n",
+                   spec.series.c_str());
+      return;
+    }
+    dir = made;
+    o.backend_dir = dir;
+  }
+
+  // Removes the scratch directory on every exit path from this function.
+  struct DirCleanup {
+    const std::string& dir;
+    ~DirCleanup() {
+      if (!dir.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+      }
+    }
+  } cleanup{dir};
+
+  {
+    auto db = ElsmDb::Create(o);
+    if (!db.ok()) {
+      std::fprintf(stderr, "open %s failed: %s\n", spec.series.c_str(),
+                   db.status().ToString().c_str());
+      return;
+    }
+
+    auto load_start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < records; ++i) {
+      if (!db.value()->Put(ycsb::MakeKey(i, 16), ycsb::MakeValue(i, 100)).ok()) {
+        std::abort();
+      }
+    }
+    const double put_us = UsSince(load_start, records);
+
+    Rng rng(0xd15c);
+    auto get_start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < ops; ++i) {
+      if (!db.value()->Get(ycsb::MakeKey(rng.Uniform(records), 16)).ok()) {
+        std::abort();
+      }
+    }
+    const double get_us = UsSince(get_start, ops);
+
+    const uint64_t scans = std::max<uint64_t>(ops / 50, 8);
+    auto scan_start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < scans; ++i) {
+      const uint64_t lo = rng.Uniform(records > 100 ? records - 100 : 1);
+      auto scanned = db.value()->Scan(ycsb::MakeKey(lo, 16),
+                                      ycsb::MakeKey(lo + 100, 16));
+      if (!scanned.ok()) std::abort();
+    }
+    const double scan_us = UsSince(scan_start, scans);
+
+    std::printf("%-13s put=%9.2f us  get=%9.2f us  scan=%9.2f us (wall)\n",
+                spec.series.c_str(), put_us, get_us, scan_us);
+    ReportRow("backend_wallclock", spec.series + "-put", "records",
+              double(records), put_us, "us_wall");
+    ReportRow("backend_wallclock", spec.series + "-get", "records",
+              double(records), get_us, "us_wall");
+    ReportRow("backend_wallclock", spec.series + "-scan", "records",
+              double(records), scan_us, "us_wall");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t records = 20000 / QuickDivisor();
+  const uint64_t ops = 8000 / QuickDivisor();
+  PrintHeader("backend_wallclock",
+              "storage backends: wall-clock us/op, same workload",
+              "posix pays real fsyncs on the write path; reads are "
+              "cache-resident and comparable across backends");
+
+  std::string selected = "sim,posix,posix-nosync";
+  if (const char* env = std::getenv("ELSM_BENCH_BACKEND");
+      env != nullptr && env[0] != '\0') {
+    selected = env;
+  }
+  std::vector<std::string> tokens;
+  for (size_t pos = 0; pos <= selected.size();) {
+    const size_t comma = std::min(selected.find(',', pos), selected.size());
+    if (comma > pos) tokens.push_back(selected.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  const std::vector<BackendSpec> all = {
+      {"sim", storage::BackendKind::kSim, true},
+      {"posix", storage::BackendKind::kPosix, true},
+      {"posix-nosync", storage::BackendKind::kPosix, false},
+  };
+  for (const BackendSpec& spec : all) {
+    for (const std::string& token : tokens) {
+      if (token == spec.series) {
+        RunBackend(spec, records, ops);
+        break;
+      }
+    }
+  }
+  return 0;
+}

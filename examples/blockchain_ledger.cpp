@@ -100,11 +100,11 @@ int main() {
       break;
     }
   }
-  auto blob = db->fs().MutableBlob(victim);
-  if (blob != nullptr) {
-    // Rewrite a stripe of the file (a realistic history-rewrite attempt).
-    for (size_t off = 64; off < blob->size(); off += 256) {
-      (*blob)[off] ^= 0x20;
+  // Rewrite a stripe of the file (a realistic history-rewrite attempt) —
+  // via the backend-neutral on-disk tamper hook.
+  if (auto size = db->fs().FileSize(victim); size.ok()) {
+    for (uint64_t off = 64; off < size.value(); off += 256) {
+      db->fs().Corrupt(victim, off, 0x20);
     }
   }
   int rejected = 0;

@@ -3,17 +3,28 @@
 // load/run statistics — the interactive counterpart of the bench/ binaries.
 //
 //   $ ./build/examples/ycsb_tool [workload] [engine] [records] [ops]
-//         (plus optional --shards=N --fanout-threads=N anywhere in argv)
+//         (plus optional --shards=N --fanout-threads=N
+//          --backend={sim,posix} --dir=PATH anywhere in argv)
 //   $ ./build/examples/ycsb_tool A p2 20000 10000
 //   $ ./build/examples/ycsb_tool A p2 20000 10000 --shards=4
 //   $ ./build/examples/ycsb_tool E p2 20000 10000 --shards=8 --fanout-threads=8
+//   $ ./build/examples/ycsb_tool A p2 20000 10000 --backend=posix --dir=/tmp/elsm
 //
 // --shards=N (N > 1) routes the eLSM engines (p2, p2-buffer, p1, unsecured)
 // through the hash-partitioned ShardedDb router; baselines ignore it.
 // --fanout-threads=N gives the router a shared worker pool so cross-shard
 // scans and batch writes dispatch per-shard work in parallel (0 =
 // sequential); it only matters together with --shards.
+//
+// --backend=posix runs the eLSM engines on real files (storage::PosixFs)
+// under --dir (a mkdtemp'd /tmp directory when --dir is omitted), with
+// fsync-honest durability; --backend=sim (default) keeps the in-memory
+// deterministic disk. Both report simulated latencies *and* wall-clock
+// phase times — on posix the wall clock is the first real-hardware number.
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -80,9 +91,15 @@ int main(int argc, char** argv) {
   // arguments stay stable.
   uint32_t shards = 1;
   uint32_t fanout_threads = 0;
+  const char* backend_name = "sim";
+  std::string dir;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      backend_name = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--dir=", 6) == 0) {
+      dir = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = uint32_t(strtoul(argv[i] + 9, nullptr, 10));
       if (shards == 0) shards = 1;
     } else if (std::strncmp(argv[i], "--fanout-threads=", 17) == 0) {
@@ -103,6 +120,25 @@ int main(int argc, char** argv) {
   WorkloadSpec spec = PickWorkload(workload_name);
   spec.record_count = records;
   spec.operation_count = ops;
+
+  storage::BackendKind backend = storage::BackendKind::kSim;
+  if (std::strcmp(backend_name, "posix") == 0) {
+    backend = storage::BackendKind::kPosix;
+    if (dir.empty()) {
+      char tmpl[] = "/tmp/elsm-ycsb-XXXXXX";
+      const char* made = mkdtemp(tmpl);
+      if (made == nullptr) {
+        std::fprintf(stderr, "mkdtemp failed for --backend=posix\n");
+        return 1;
+      }
+      dir = made;
+    }
+    std::printf("posix backend root: %s\n", dir.c_str());
+  } else if (std::strcmp(backend_name, "sim") != 0) {
+    std::fprintf(stderr, "unknown backend %s (want sim|posix)\n",
+                 backend_name);
+    return 1;
+  }
 
   std::printf("YCSB workload %s on engine %s (%u shard%s, %u fan-out "
               "thread%s): %llu records, %llu ops\n",
@@ -132,6 +168,8 @@ int main(int argc, char** argv) {
   } else {
     Options options;
     options.name = "ycsb";
+    options.backend = backend;
+    options.backend_dir = dir;
     if (std::strcmp(engine_name, "p1") == 0) {
       options.mode = Mode::kP1;
     } else if (std::strcmp(engine_name, "unsecured") == 0) {
@@ -164,22 +202,40 @@ int main(int argc, char** argv) {
     }
   }
 
+  using WallClock = std::chrono::steady_clock;
   const uint64_t load_start = kv->now_ns();
+  const auto load_wall_start = WallClock::now();
   Status s = runner.Load(*kv);
   if (!s.ok()) {
     std::printf("load stopped: %s\n", s.ToString().c_str());
     if (!s.IsCapacityExceeded()) return 1;
   }
-  std::printf("load phase: %.2f simulated ms\n",
-              double(kv->now_ns() - load_start) / 1e6);
+  const double load_wall_ms =
+      std::chrono::duration<double, std::milli>(WallClock::now() -
+                                                load_wall_start)
+          .count();
+  std::printf("load phase: %.2f simulated ms, %.2f wall ms (%.0f ops/s)\n",
+              double(kv->now_ns() - load_start) / 1e6, load_wall_ms,
+              load_wall_ms > 0 ? double(records) * 1e3 / load_wall_ms : 0.0);
 
+  const auto run_wall_start = WallClock::now();
   auto stats = runner.Run(*kv);
   if (!stats.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
                  stats.status().ToString().c_str());
     return 1;
   }
+  const double run_wall_ms =
+      std::chrono::duration<double, std::milli>(WallClock::now() -
+                                                run_wall_start)
+          .count();
   PrintStats("run", stats.value());
+  std::printf("run phase: %.2f wall ms (%.0f ops/s, backend=%s)\n",
+              run_wall_ms,
+              run_wall_ms > 0
+                  ? double(stats.value().ops) * 1e3 / run_wall_ms
+                  : 0.0,
+              backend_name);
 
   if (sharded != nullptr) {
     uint64_t flushes = 0;

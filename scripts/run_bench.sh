@@ -5,6 +5,12 @@
 #   scripts/run_bench.sh --quick              # ~1 min smoke baseline
 #   scripts/run_bench.sh                      # full paper-scale run (~10 min)
 #   scripts/run_bench.sh --quick fig2 fig6b   # subset by bench prefix
+#   scripts/run_bench.sh --backend posix      # wall-clock rows: posix only
+#
+# --backend restricts the backend_wallclock series (comma list of
+# sim|posix|posix-nosync; default all three). Those rows carry the
+# "us_wall" unit, so compare_bench.py reports them informationally and
+# never gates on machine-dependent real-disk numbers.
 #
 # Output (default BENCH_seed.json):
 #   { "schema": "elsm-bench-v1", "label": ..., "quick": ...,
@@ -19,6 +25,7 @@ BUILD_DIR="$ROOT/build"
 OUT=""
 LABEL=""
 QUICK=0
+BACKENDS=""
 ONLY=()
 
 while [[ $# -gt 0 ]]; do
@@ -27,8 +34,10 @@ while [[ $# -gt 0 ]]; do
     --out) OUT="$2"; shift ;;
     --label) LABEL="$2"; shift ;;
     --build-dir) BUILD_DIR="$2"; shift ;;
+    --backend) BACKENDS="$2"; shift ;;
     -h|--help)
-      sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
+      # Print the whole leading comment block, however long it grows.
+      awk 'NR == 1 { next } !/^#/ { exit } { sub(/^# ?/, ""); print }' "$0"
       exit 0 ;;
     -*) echo "unknown flag: $1" >&2; exit 2 ;;
     *) ONLY+=("$1") ;;
@@ -56,6 +65,7 @@ FIG_BENCHES=(
   fig7a_write_scaling
   fig7b_compaction_onoff
   fig8_write_buffer
+  fig_backend_wallclock
   fig_fanout
   fig_shard_scaling
   micro_enclave
@@ -88,6 +98,11 @@ ROWS="$TMP/rows.jsonl"
 mkdir -p "$TMP/logs"
 
 export ELSM_BENCH_JSON="$ROWS"
+if [[ -n "$BACKENDS" ]]; then
+  export ELSM_BENCH_BACKEND="$BACKENDS"
+else
+  unset ELSM_BENCH_BACKEND
+fi
 if [[ "$QUICK" == 1 ]]; then
   export ELSM_BENCH_QUICK=1
 else

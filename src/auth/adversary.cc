@@ -79,13 +79,12 @@ bool Adversary::DropScanRecord(AssembledScan* proof) {
   return false;
 }
 
-bool Adversary::CorruptFile(storage::SimFs& fs, const std::string& name,
+bool Adversary::CorruptFile(storage::Fs& fs, const std::string& name,
                             size_t offset) {
-  auto blob = fs.MutableBlob(name);
-  if (blob == nullptr || blob->empty()) return false;
-  const size_t pos = offset % blob->size();
-  (*blob)[pos] = char((*blob)[pos] ^ 0x01);
-  return true;
+  // Backend-neutral byte flip on the untrusted disk: SimFs mutates the
+  // stored blob in place, PosixFs pwrites the byte (and patches any live
+  // mapping) — either way live readers observe the tampering.
+  return fs.Corrupt(name, offset, 0x01);
 }
 
 }  // namespace elsm::auth

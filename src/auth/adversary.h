@@ -10,7 +10,7 @@
 #include <string>
 
 #include "auth/proof.h"
-#include "storage/simfs.h"
+#include "storage/fs.h"
 
 namespace elsm::auth {
 
@@ -39,7 +39,7 @@ struct Adversary {
 
   // --- storage tampering ------------------------------------------------------
   // Flips one byte of an SSTable / sidecar file on the untrusted disk.
-  static bool CorruptFile(storage::SimFs& fs, const std::string& name,
+  static bool CorruptFile(storage::Fs& fs, const std::string& name,
                           size_t offset = 0);
 };
 

@@ -77,7 +77,8 @@ std::string TreeFile::Serialize(const crypto::MerkleTree& tree) {
   return out;
 }
 
-Result<TreeFile> TreeFile::Open(storage::SimFs& fs, const std::string& name) {
+Result<TreeFile> TreeFile::Open(const storage::Fs& fs,
+                                const std::string& name) {
   auto region = storage::MmapRegion::Open(fs, name);
   if (!region.ok()) return region.status();
   auto header = region.value().Read(0, 8);

@@ -22,8 +22,8 @@
 #include "crypto/hash_chain.h"
 #include "crypto/merkle.h"
 #include "lsm/engine.h"
+#include "storage/fs.h"
 #include "storage/mmap.h"
-#include "storage/simfs.h"
 
 namespace elsm::auth {
 
@@ -41,7 +41,7 @@ struct EmbeddedProof {
 // proofs that fail verification.
 class TreeFile {
  public:
-  static Result<TreeFile> Open(storage::SimFs& fs, const std::string& name);
+  static Result<TreeFile> Open(const storage::Fs& fs, const std::string& name);
 
   uint64_t leaf_count() const { return leaf_count_; }
   Result<crypto::MerklePath> Siblings(uint64_t leaf_index) const;
@@ -111,7 +111,7 @@ struct AssembledScan {
 // TreeFile handles cached (mmap once per level generation).
 class ProofAssembler {
  public:
-  explicit ProofAssembler(std::shared_ptr<storage::SimFs> fs)
+  explicit ProofAssembler(std::shared_ptr<storage::Fs> fs)
       : fs_(std::move(fs)) {}
 
   Result<AssembledGet> AssembleGet(const lsm::GetResponse& response,
@@ -122,7 +122,7 @@ class ProofAssembler {
  private:
   Result<const TreeFile*> Tree(const std::string& name);
 
-  std::shared_ptr<storage::SimFs> fs_;
+  std::shared_ptr<storage::Fs> fs_;
   std::mutex trees_mu_;  // concurrent readers share one assembler
   std::map<std::string, TreeFile> trees_;
 };

@@ -25,6 +25,7 @@ lsm::LsmOptions MakeEngineOptions(const Options& o) {
   eo.use_bloom = o.use_bloom;
   eo.compaction_enabled = o.compaction_enabled;
   eo.background_compaction = o.background_compaction;
+  eo.sync_writes = o.sync_writes;
   eo.read_buffer_bytes = o.read_buffer_bytes;
   // The facade persists the manifest; compacted-away files may only be
   // unlinked after the manifest dropping them is durable (crash safety),
@@ -50,7 +51,7 @@ lsm::LsmOptions MakeEngineOptions(const Options& o) {
 
 }  // namespace
 
-ElsmDb::ElsmDb(const Options& options, std::shared_ptr<storage::SimFs> fs,
+ElsmDb::ElsmDb(const Options& options, std::shared_ptr<storage::Fs> fs,
                std::shared_ptr<TrustedPlatform> platform)
     : options_(options),
       enclave_(std::make_shared<sgx::Enclave>(options.cost_model,
@@ -58,7 +59,9 @@ ElsmDb::ElsmDb(const Options& options, std::shared_ptr<storage::SimFs> fs,
       fs_(std::move(fs)),
       platform_(std::move(platform)),
       verifier_(nullptr) {
-  if (fs_ == nullptr) fs_ = std::make_shared<storage::SimFs>(enclave_);
+  if (fs_ == nullptr) {
+    fs_ = storage::MakeFs(options_.backend, options_.backend_dir, enclave_);
+  }
   fs_->set_enclave(enclave_);
   engine_ = std::make_unique<lsm::LsmEngine>(MakeEngineOptions(options_),
                                              enclave_, fs_);
@@ -80,7 +83,7 @@ ElsmDb::~ElsmDb() {
 }
 
 Result<std::unique_ptr<ElsmDb>> ElsmDb::Open(
-    const Options& options, std::shared_ptr<storage::SimFs> fs,
+    const Options& options, std::shared_ptr<storage::Fs> fs,
     std::shared_ptr<TrustedPlatform> platform) {
   if (platform == nullptr) {
     return Status::InvalidArgument("TrustedPlatform required");
@@ -88,6 +91,11 @@ Result<std::unique_ptr<ElsmDb>> ElsmDb::Open(
   if (options.deterministic_key_encryption && options.order_preserving_keys) {
     return Status::InvalidArgument(
         "deterministic and order-preserving key encryption are exclusive");
+  }
+  if (fs == nullptr && options.backend == storage::BackendKind::kPosix &&
+      options.backend_dir.empty()) {
+    return Status::InvalidArgument(
+        "the posix backend needs Options::backend_dir");
   }
   std::unique_ptr<ElsmDb> db(new ElsmDb(options, std::move(fs), platform));
   Status s = db->Recover();
@@ -249,11 +257,23 @@ Status ElsmDb::PersistManifest(const crypto::Hash256& wal_dig,
   PutLengthPrefixed(&payload, engine_->EncodeManifest());
   enclave_->ChargeHash(payload.size());
   enclave_->ChargeOcall();
+  // Crash-consistent install (Fs::Sync contract): data fsync before the
+  // rename, directory fsync after it, counter bump only once the new
+  // manifest is fully durable — so the hardware counter can never get
+  // ahead of every manifest a crash could leave on disk.
   Status s = fs_->Write(manifest_tmp_name(),
                         sgx::Seal(platform_->sealing_key, payload));
   if (!s.ok()) return s;
+  if (options_.sync_writes) {
+    s = fs_->Sync(manifest_tmp_name());
+    if (!s.ok()) return s;
+  }
   s = fs_->Rename(manifest_tmp_name(), manifest_name());
   if (!s.ok()) return s;
+  if (options_.sync_writes) {
+    s = fs_->SyncDir();
+    if (!s.ok()) return s;
+  }
   if (bump) {
     platform_->counter.Increment();
     enclave_->ChargeCounterBump();

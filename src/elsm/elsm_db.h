@@ -11,7 +11,8 @@
 // verifies every read against the enclave-held level roots.
 //
 // A TrustedPlatform outlives the DB instance across close/reopen (simulated
-// power cycles); the SimFs is the untrusted disk the adversary may tamper
+// power cycles); the storage::Fs backend is the untrusted disk the
+// adversary may tamper
 // with or roll back.
 #pragma once
 
@@ -32,7 +33,7 @@
 #include "lsm/engine.h"
 #include "sgxsim/counter.h"
 #include "sgxsim/enclave.h"
-#include "storage/simfs.h"
+#include "storage/fs.h"
 
 namespace elsm {
 
@@ -46,10 +47,11 @@ inline constexpr uint64_t kLatest = UINT64_MAX;
 
 class ElsmDb {
  public:
-  // Opens (or recovers) a store on `fs`. Pass a fresh SimFs for a new store;
-  // pass the same SimFs + platform again to reopen after Close().
+  // Opens (or recovers) a store on `fs`. Pass a fresh Fs (or nullptr to
+  // build one from Options::backend/backend_dir) for a new store; pass the
+  // same Fs + platform again to reopen after Close().
   static Result<std::unique_ptr<ElsmDb>> Open(
-      const Options& options, std::shared_ptr<storage::SimFs> fs,
+      const Options& options, std::shared_ptr<storage::Fs> fs,
       std::shared_ptr<TrustedPlatform> platform);
 
   // Convenience: fresh enclave + filesystem + platform.
@@ -105,13 +107,13 @@ class ElsmDb {
   // or its manifest persist hit (immediately Ok when it is off).
   void ScheduleCompaction();
   Status WaitForCompaction();
-  // Persist and stop; the SimFs/platform can be reused to reopen.
+  // Persist and stop; the Fs/platform can be reused to reopen.
   Status Close();
 
   // --- introspection ----------------------------------------------------------
   sgx::Enclave& enclave() { return *enclave_; }
   lsm::LsmEngine& engine() { return *engine_; }
-  storage::SimFs& fs() { return *fs_; }
+  storage::Fs& fs() { return *fs_; }
   TrustedPlatform& platform() { return *platform_; }
   const Options& options() const { return options_; }
   uint64_t last_ts() const { return last_ts_; }
@@ -127,7 +129,7 @@ class ElsmDb {
   void ResetOpStats() { op_stats_ = OpStats{}; }
 
  private:
-  ElsmDb(const Options& options, std::shared_ptr<storage::SimFs> fs,
+  ElsmDb(const Options& options, std::shared_ptr<storage::Fs> fs,
          std::shared_ptr<TrustedPlatform> platform);
 
   Status Recover();
@@ -176,7 +178,7 @@ class ElsmDb {
 
   Options options_;
   std::shared_ptr<sgx::Enclave> enclave_;
-  std::shared_ptr<storage::SimFs> fs_;
+  std::shared_ptr<storage::Fs> fs_;
   std::shared_ptr<TrustedPlatform> platform_;
   std::unique_ptr<lsm::LsmEngine> engine_;
   std::unique_ptr<auth::AuthCompactionListener> listener_;

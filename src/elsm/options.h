@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "lsm/engine.h"
 #include "sgxsim/cost_model.h"
+#include "storage/fs.h"
 
 namespace elsm {
 
@@ -22,6 +23,22 @@ enum class Mode {
 struct Options {
   Mode mode = Mode::kP2;
   std::string name = "elsm";
+
+  // --- storage backend -----------------------------------------------------
+  // Which storage::Fs backend Open/Create builds when the caller does not
+  // pass one explicitly: the deterministic in-memory SimFs (default, the
+  // paper's memory-resident evaluation) or PosixFs on real files under
+  // `backend_dir` (required for kPosix). An explicitly passed Fs/ShardEnv
+  // always wins over these fields.
+  storage::BackendKind backend = storage::BackendKind::kSim;
+  std::string backend_dir;
+  // Honor the Fs durability contract on the write path: fsync the WAL
+  // before acknowledging a write, fsync SSTables/sidecars before the
+  // manifest that references them, and install manifests with
+  // Sync(tmp) + Rename + SyncDir before bumping the monotonic counter.
+  // Free on SimFs (always durable); real fsyncs on PosixFs. Disable only
+  // for benchmarks that want the no-durability upper bound.
+  bool sync_writes = true;
 
   // --- LSM geometry (defaults are the paper's setup scaled /64) ------------
   uint64_t memtable_bytes = 64 << 10;

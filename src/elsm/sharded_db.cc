@@ -50,7 +50,8 @@ ShardedDb::ShardedDb(const Options& base, uint32_t num_shards,
     env_->meta_platform = std::make_shared<TrustedPlatform>();
   }
   if (env_->meta_fs == nullptr) {
-    env_->meta_fs = std::make_shared<storage::SimFs>(meta_enclave_);
+    env_->meta_fs =
+        storage::MakeFs(options_.backend, options_.backend_dir, meta_enclave_);
   } else {
     env_->meta_fs->set_enclave(meta_enclave_);
   }
@@ -67,7 +68,11 @@ ShardedDb::ShardedDb(const Options& base, uint32_t num_shards,
       env_->shard_platforms[i] = std::move(platform);
     }
     if (env_->shard_fs[i] == nullptr) {
-      env_->shard_fs[i] = std::make_shared<storage::SimFs>(meta_enclave_);
+      // Posix shards share one --dir root; their names are disjoint by the
+      // per-shard directory prefix. Separate instances keep each shard's
+      // I/O charged on its own enclave once ElsmDb re-homes them.
+      env_->shard_fs[i] =
+          storage::MakeFs(options_.backend, options_.backend_dir, meta_enclave_);
     }
   }
 }
@@ -81,6 +86,12 @@ Result<std::unique_ptr<ShardedDb>> ShardedDb::Open(
   if (num_shards == 0 || num_shards > kMaxShards) {
     return Status::InvalidArgument("num_shards must be in [1, " +
                                    std::to_string(kMaxShards) + "]");
+  }
+  if (base.backend == storage::BackendKind::kPosix &&
+      base.backend_dir.empty() &&
+      (env == nullptr || env->meta_fs == nullptr)) {
+    return Status::InvalidArgument(
+        "the posix backend needs Options::backend_dir");
   }
   if (env == nullptr) env = std::make_shared<ShardEnv>();
   if (!env->shard_fs.empty() && env->shard_fs.size() != num_shards) {
@@ -263,12 +274,22 @@ Status ShardedDb::PersistSuperManifest() {
   }
   meta_enclave_->ChargeHash(payload.size());
   meta_enclave_->ChargeOcall();
+  // Same crash-consistent install as the shard manifests: fsync data
+  // before the rename, fsync the namespace after it, bump last.
   Status s = env_->meta_fs->Write(
       super_tmp_name(),
       sgx::Seal(env_->meta_platform->sealing_key, payload));
   if (!s.ok()) return s;
+  if (options_.sync_writes) {
+    s = env_->meta_fs->Sync(super_tmp_name());
+    if (!s.ok()) return s;
+  }
   s = env_->meta_fs->Rename(super_tmp_name(), super_name());
   if (!s.ok()) return s;
+  if (options_.sync_writes) {
+    s = env_->meta_fs->SyncDir();
+    if (!s.ok()) return s;
+  }
   if (bump) {
     env_->meta_platform->counter.Increment();
     meta_enclave_->ChargeCounterBump();
@@ -427,21 +448,29 @@ Result<std::vector<lsm::Record>> ShardedDb::Scan(std::string_view k1,
   return out;
 }
 
+Status ShardedDb::AllShards(const std::function<Status(ElsmDb&)>& fn) {
+  std::vector<uint32_t> targets(num_shards_);
+  for (uint32_t i = 0; i < num_shards_; ++i) targets[i] = i;
+  return FanOut(targets,
+                [&](size_t, uint32_t shard) { return fn(*shards_[shard]); });
+}
+
 Status ShardedDb::Flush() {
+  // Maintenance fans out like the query paths: shards flush concurrently
+  // on the pool (each under its own locks), with the same deterministic
+  // error selection — the lowest failing shard's status wins, every shard
+  // still runs. The super-manifest refresh stays serialized on super_mu_
+  // and only happens once every shard's manifest is durable.
   std::lock_guard<std::mutex> lock(super_mu_);
-  for (auto& shard : shards_) {
-    Status s = shard->Flush();
-    if (!s.ok()) return s;
-  }
+  Status s = AllShards([](ElsmDb& shard) { return shard.Flush(); });
+  if (!s.ok()) return s;
   return PersistSuperManifest();
 }
 
 Status ShardedDb::CompactAll() {
   std::lock_guard<std::mutex> lock(super_mu_);
-  for (auto& shard : shards_) {
-    Status s = shard->CompactAll();
-    if (!s.ok()) return s;
-  }
+  Status s = AllShards([](ElsmDb& shard) { return shard.CompactAll(); });
+  if (!s.ok()) return s;
   return PersistSuperManifest();
 }
 

@@ -4,7 +4,7 @@
 // so writes, flushes and background compactions proceed per shard instead
 // of serializing on one facade lock).
 //
-// Each shard is a full ElsmDb: its own SimFs namespace (untrusted disk),
+// Each shard is a full ElsmDb: its own Fs namespace (untrusted disk),
 // WAL, sealed manifest, trusted monotonic counter, enclave instance and —
 // when Options::background_compaction is set — its own compaction thread.
 // Keys route by a stable 64-bit FNV-1a hash; SCAN fans out per-shard
@@ -62,9 +62,9 @@ namespace elsm {
 // Pass the same ShardEnv back to ShardedDb::Open to recover. Tests may
 // substitute storage::FaultFs instances to crash individual shards.
 struct ShardEnv {
-  std::shared_ptr<storage::SimFs> meta_fs;  // holds the super-manifest
+  std::shared_ptr<storage::Fs> meta_fs;  // holds the super-manifest
   std::shared_ptr<TrustedPlatform> meta_platform;
-  std::vector<std::shared_ptr<storage::SimFs>> shard_fs;
+  std::vector<std::shared_ptr<storage::Fs>> shard_fs;
   std::vector<std::shared_ptr<TrustedPlatform>> shard_platforms;
 };
 
@@ -116,7 +116,8 @@ class ShardedDb {
   Result<std::vector<lsm::Record>> Scan(std::string_view k1,
                                         std::string_view k2);
 
-  // --- maintenance: fanned out to every shard ------------------------------
+  // --- maintenance: fanned out to every shard (parallel on the fan-out
+  // pool, deterministic lowest-failing-shard error selection) ---------------
   Status Flush();
   Status CompactAll();
   void ScheduleCompaction();
@@ -169,6 +170,8 @@ class ShardedDb {
   // modes surface identical errors.
   Status FanOut(const std::vector<uint32_t>& targets,
                 const std::function<Status(size_t, uint32_t)>& fn);
+  // FanOut over every shard (the maintenance paths).
+  Status AllShards(const std::function<Status(ElsmDb&)>& fn);
   // Verifies the sealed super-manifest against the trusted meta counter and
   // the shard disks (drop/swap/count/rollback-floor checks). Sets
   // *found=false when no super-manifest exists (fresh store candidate).

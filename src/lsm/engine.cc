@@ -20,7 +20,7 @@ uint64_t KeyProbe(std::string_view key) {
 }  // namespace
 
 LsmEngine::LsmEngine(LsmOptions options, std::shared_ptr<sgx::Enclave> enclave,
-                     std::shared_ptr<storage::SimFs> fs)
+                     std::shared_ptr<storage::Fs> fs)
     : options_(std::move(options)),
       enclave_(std::move(enclave)),
       fs_(std::move(fs)),
@@ -81,6 +81,21 @@ std::shared_ptr<const Version> LsmEngine::current_version() const {
   return SnapshotVersion();
 }
 
+Status LsmEngine::SyncWal() {
+  Status s = wal_.Sync();
+  if (!s.ok()) return s;
+  // fsync of a freshly created file does not make its directory entry
+  // durable (fs.h contract) — a crash could drop the whole WAL and with
+  // it every acknowledged write since the last flush. Pay one SyncDir on
+  // the first commit of each WAL generation.
+  if (!wal_dir_synced_.load(std::memory_order_relaxed)) {
+    s = fs_->SyncDir();
+    if (!s.ok()) return s;
+    wal_dir_synced_.store(true, std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
 Status LsmEngine::Put(Record record) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   ++stats_.puts;
@@ -89,6 +104,12 @@ Status LsmEngine::Put(Record record) {
   // committed across writers; its amortized share lives in wal_append_ns.
   Status s = wal_.Append(core);
   if (!s.ok()) return s;
+  // Durability before acknowledgement (Fs::Sync contract): a crash after
+  // this point must not lose the record. Free on SimFs; fsync on PosixFs.
+  if (options_.sync_writes) {
+    s = SyncWal();
+    if (!s.ok()) return s;
+  }
   // w1: insert into the L0 write buffer inside the enclave.
   const uint64_t size = record.ByteSize() + 64;
   enclave_->AccessRegion(memtable_region_,
@@ -108,6 +129,10 @@ Status LsmEngine::PutBatch(std::vector<Record> records) {
   // w3, group commit: one WAL append (one world switch) covers the batch.
   Status s = wal_.AppendBatch(cores);
   if (!s.ok()) return s;
+  if (options_.sync_writes) {
+    s = SyncWal();  // one fsync covers the whole group commit
+    if (!s.ok()) return s;
+  }
   for (Record& record : records) {
     const uint64_t size = record.ByteSize() + 64;
     enclave_->AccessRegion(memtable_region_,
@@ -873,6 +898,12 @@ Status LsmEngine::FinishOutputFile(LevelBuild* build) {
   enclave_->Copy(contents.size(), /*cross_boundary=*/true);
   Status s = fs_->Write(meta.name, std::move(contents));
   if (!s.ok()) return s;
+  // The manifest that references this file may persist right after the
+  // version swap; the file must already be durable by then.
+  if (options_.sync_writes) {
+    s = fs_->Sync(meta.name);
+    if (!s.ok()) return s;
+  }
   build->level.bytes += meta.size;
   build->level.num_records += meta.num_records;
   if (listener_ != nullptr) listener_->OnTableFileCreated(meta);
@@ -890,6 +921,10 @@ Status LsmEngine::FinalizeLevel(LevelBuild* build, const CompactionSeal& seal) {
     enclave_->ChargeOcall();
     s = fs_->Write(build->level.tree_file, seal.tree_payload);
     if (!s.ok()) return s;
+    if (options_.sync_writes) {
+      s = fs_->Sync(build->level.tree_file);
+      if (!s.ok()) return s;
+    }
   }
   return Status::Ok();
 }
@@ -1074,7 +1109,15 @@ void LsmEngine::PurgeObsoleteFiles() {
 
 Status LsmEngine::ResetWal() {
   const std::string name = options_.name + "/wal";
-  if (fs_->Exists(name)) return fs_->Delete(name);
+  wal_dir_synced_.store(false, std::memory_order_relaxed);
+  if (fs_->Exists(name)) {
+    Status s = fs_->Delete(name);
+    if (!s.ok()) return s;
+    // Make the truncation durable: a crash must not resurrect frames the
+    // manifest already claims are flushed (ReplayWal would skip them via
+    // flushed_ts, but an honest namespace keeps recovery simple).
+    if (options_.sync_writes) return fs_->SyncDir();
+  }
   return Status::Ok();
 }
 

@@ -55,7 +55,7 @@
 #include "sgxsim/enclave.h"
 #include "storage/mmap.h"
 #include "storage/read_buffer.h"
-#include "storage/simfs.h"
+#include "storage/fs.h"
 #include "storage/wal.h"
 
 namespace elsm::lsm {
@@ -86,6 +86,10 @@ struct LsmOptions {
   // them for time-travel GETs); tombstone-covered records are still dropped
   // when merging into the deepest level.
   bool keep_old_versions = true;
+  // Honor the Fs::Sync durability contract on the write path: fsync the
+  // WAL before acknowledging, and SSTables/tree sidecars before they can
+  // be referenced by a manifest. No-op on SimFs, real fsyncs on PosixFs.
+  bool sync_writes = true;
   // Park compacted-away files instead of unlinking them; the owner calls
   // PurgeObsoleteFiles() once the manifest dropping them is durable. Keeps
   // a crash between version swap and manifest persist recoverable.
@@ -225,7 +229,7 @@ struct EngineStats {
 class LsmEngine {
  public:
   LsmEngine(LsmOptions options, std::shared_ptr<sgx::Enclave> enclave,
-            std::shared_ptr<storage::SimFs> fs);
+            std::shared_ptr<storage::Fs> fs);
   ~LsmEngine();
 
   LsmEngine(const LsmEngine&) = delete;
@@ -280,7 +284,7 @@ class LsmEngine {
   uint64_t memtable_bytes() const { return memtable_used_; }
   const EngineStats& stats() const { return stats_; }
   const LsmOptions& options() const { return options_; }
-  storage::SimFs& fs() { return *fs_; }
+  storage::Fs& fs() { return *fs_; }
   sgx::Enclave& enclave() { return *enclave_; }
 
   // --- manifest & recovery (driven by the elsm facade) ---------------------
@@ -322,6 +326,11 @@ class LsmEngine {
   };
   Result<ParsedBlock> ReadParsedBlock(const FileMeta& file,
                                       const BlockHandle& block) const;
+
+  // WAL durability barrier for Put/PutBatch: fsync the file, plus a
+  // one-time directory fsync per WAL generation (a freshly created WAL's
+  // directory entry is not durable until SyncDir — fs.h contract).
+  Status SyncWal();
 
   Status LookupInLevel(const LevelMeta& level, std::string_view key,
                        uint64_t ts_max, LevelGetResult* out) const;
@@ -368,7 +377,7 @@ class LsmEngine {
 
   LsmOptions options_;
   std::shared_ptr<sgx::Enclave> enclave_;
-  std::shared_ptr<storage::SimFs> fs_;
+  std::shared_ptr<storage::Fs> fs_;
   CompactionListener* listener_ = nullptr;
 
   // mu_ protects the memtable and the version pointer swap; readers hold it
@@ -383,6 +392,11 @@ class LsmEngine {
   std::atomic<uint64_t> next_file_no_ = 1;
 
   storage::WalWriter wal_;
+  // The current WAL generation's directory entry is known durable (a
+  // SyncDir ran since the file was created). Reset by ResetWal; writers
+  // mutate it under the exclusive write lock, so relaxed atomics only
+  // guard against incidental concurrent reads.
+  std::atomic<bool> wal_dir_synced_{false};
   std::unique_ptr<storage::ReadBuffer> read_buffer_;
   mutable std::mutex mmaps_mu_;
   mutable std::unordered_map<std::string, storage::MmapRegion> mmaps_;

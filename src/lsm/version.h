@@ -28,7 +28,7 @@
 #include "common/status.h"
 #include "crypto/sha256.h"
 #include "lsm/bloom.h"
-#include "storage/simfs.h"
+#include "storage/fs.h"
 
 namespace elsm::lsm {
 
@@ -87,7 +87,7 @@ Result<std::vector<LevelMeta>> DecodeLevels(std::string_view input);
 // vanished files.
 class FileTracker {
  public:
-  explicit FileTracker(std::shared_ptr<storage::SimFs> fs,
+  explicit FileTracker(std::shared_ptr<storage::Fs> fs,
                        bool defer_deletion = false)
       : fs_(std::move(fs)), defer_deletion_(defer_deletion) {}
 
@@ -109,7 +109,7 @@ class FileTracker {
  private:
   void DeleteLocked(const std::string& name);
 
-  std::shared_ptr<storage::SimFs> fs_;
+  std::shared_ptr<storage::Fs> fs_;
   const bool defer_deletion_;
   std::mutex mu_;
   std::map<std::string, int> refs_;

@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "storage/simfs.h"
+
 namespace elsm::storage {
+
+FaultFs::FaultFs(std::shared_ptr<Fs> base)
+    : Fs(base->enclave_shared()), base_(std::move(base)) {}
+
+FaultFs::FaultFs(std::shared_ptr<sgx::Enclave> enclave)
+    : Fs(enclave), base_(std::make_shared<SimFs>(std::move(enclave))) {}
 
 void FaultFs::ScheduleCrash(uint64_t ops_from_now, double keep_fraction) {
   std::lock_guard<std::mutex> lock(fault_mu_);
@@ -12,6 +20,7 @@ void FaultFs::ScheduleCrash(uint64_t ops_from_now, double keep_fraction) {
 
 void FaultFs::CrashNow() {
   std::lock_guard<std::mutex> lock(fault_mu_);
+  if (!crashed_ && unsynced_loss_) DropUnsyncedLocked();
   crashed_ = true;
   crash_at_ = 0;
   if (crash_op_.empty()) crash_op_ = "manual";
@@ -21,6 +30,12 @@ void FaultFs::ClearCrash() {
   std::lock_guard<std::mutex> lock(fault_mu_);
   crashed_ = false;
   crash_at_ = 0;
+}
+
+void FaultFs::EnableUnsyncedLoss(bool on) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  unsynced_loss_ = on;
+  if (!on) undo_log_.clear();
 }
 
 bool FaultFs::crashed() const {
@@ -38,8 +53,7 @@ uint64_t FaultFs::mutating_ops() const {
   return ops_;
 }
 
-bool FaultFs::CountOp(const char* kind, double* keep) {
-  std::lock_guard<std::mutex> lock(fault_mu_);
+bool FaultFs::CountOpLocked(const char* kind, double* keep) {
   *keep = -1.0;
   if (crashed_) return true;
   ++ops_;
@@ -48,45 +62,220 @@ bool FaultFs::CountOp(const char* kind, double* keep) {
     crash_at_ = 0;
     crash_op_ = kind;
     *keep = keep_fraction_;
+    // Power fails mid-op: everything the store never fsynced is gone
+    // before the torn fragment of this op (maybe) reaches the platter.
+    if (unsynced_loss_) DropUnsyncedLocked();
     return true;
   }
   return false;
 }
 
+bool FaultFs::HasUndoLocked(Undo::Barrier barrier,
+                            const std::string& name) const {
+  for (const Undo& u : undo_log_) {
+    if (u.barrier == barrier && u.name == name) return true;
+  }
+  return false;
+}
+
+void FaultFs::SnapshotLocked(Undo::Barrier barrier, const std::string& name) {
+  if (!unsynced_loss_) return;
+  // One pre-image per (barrier, name) suffices: entries of a class retire
+  // together, and reverse replay makes the oldest pre-image the restored
+  // state — so re-snapshotting on every append would only burn quadratic
+  // I/O and memory for the same rollback.
+  if (HasUndoLocked(barrier, name)) return;
+  Undo undo;
+  undo.barrier = barrier;
+  undo.name = name;
+  // Blob() charges nothing — the snapshot is harness bookkeeping, not I/O
+  // the store performed.
+  auto blob = base_->Blob(name);
+  if (blob != nullptr) {
+    undo.existed = true;
+    undo.content = *blob;
+  }
+  undo_log_.push_back(std::move(undo));
+}
+
+void FaultFs::DropUnsyncedLocked() {
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    if (it->existed) {
+      (void)base_->Write(it->name, it->content);
+    } else if (base_->Exists(it->name)) {
+      (void)base_->Delete(it->name);
+    }
+  }
+  undo_log_.clear();
+}
+
 Status FaultFs::Write(const std::string& name, std::string contents) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
   double keep = -1.0;
-  if (CountOp("write", &keep)) {
+  if (CountOpLocked("write", &keep)) {
     if (keep >= 0.0) {
-      (void)SimFs::Write(
+      (void)base_->Write(
           name, contents.substr(0, size_t(double(contents.size()) * keep)));
     }
     return CrashedStatus();
   }
-  return SimFs::Write(name, std::move(contents));
+  SnapshotLocked(Undo::Barrier::kData, name);
+  return base_->Write(name, std::move(contents));
 }
 
 Status FaultFs::Append(const std::string& name, std::string_view data) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
   double keep = -1.0;
-  if (CountOp("append", &keep)) {
+  if (CountOpLocked("append", &keep)) {
     if (keep >= 0.0) {
-      (void)SimFs::Append(name,
+      (void)base_->Append(name,
                           data.substr(0, size_t(double(data.size()) * keep)));
     }
     return CrashedStatus();
   }
-  return SimFs::Append(name, data);
+  SnapshotLocked(Undo::Barrier::kData, name);
+  return base_->Append(name, data);
 }
 
 Status FaultFs::Delete(const std::string& name) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
   double keep = -1.0;
-  if (CountOp("delete", &keep)) return CrashedStatus();
-  return SimFs::Delete(name);
+  if (CountOpLocked("delete", &keep)) return CrashedStatus();
+  SnapshotLocked(Undo::Barrier::kNamespace, name);
+  return base_->Delete(name);
 }
 
 Status FaultFs::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
   double keep = -1.0;
-  if (CountOp("rename", &keep)) return CrashedStatus();
-  return SimFs::Rename(from, to);
+  if (CountOpLocked("rename", &keep)) return CrashedStatus();
+  // Unsynced data dirt must follow the bytes to their new name: if the
+  // rename itself becomes durable (SyncDir) while `from`'s data was never
+  // fsynced, a crash leaves `to` as the classic zero-length file (or the
+  // prefix that *was* synced under `from`) — not the full payload. The
+  // source's own data entries are reclassified as namespace dirt: they
+  // must roll `from` back while the rename is volatile, but must retire
+  // with it at SyncDir (a durable rename leaves no `from` to restore).
+  std::string from_synced_content;
+  bool migrate = false;
+  if (unsynced_loss_) {
+    for (Undo& u : undo_log_) {
+      if (u.barrier == Undo::Barrier::kData && u.name == from) {
+        if (!migrate) {
+          migrate = true;
+          if (u.existed) from_synced_content = u.content;  // oldest wins
+        }
+        u.barrier = Undo::Barrier::kNamespace;
+      }
+    }
+  }
+  SnapshotLocked(Undo::Barrier::kNamespace, from);
+  SnapshotLocked(Undo::Barrier::kNamespace, to);
+  Status s = base_->Rename(from, to);
+  if (s.ok() && migrate && !HasUndoLocked(Undo::Barrier::kData, to)) {
+    Undo undo;
+    undo.barrier = Undo::Barrier::kData;
+    undo.name = to;
+    undo.existed = true;
+    undo.content = std::move(from_synced_content);
+    undo_log_.push_back(std::move(undo));
+  }
+  return s;
+}
+
+Status FaultFs::Sync(const std::string& name) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  double keep = -1.0;
+  if (CountOpLocked("sync", &keep)) return CrashedStatus();
+  Status s = base_->Sync(name);
+  if (s.ok() && unsynced_loss_) {
+    // `name`'s data is durable now; its pre-images need no rollback. But
+    // per the fs.h contract, fsync of a file created since the last
+    // SyncDir does NOT make its directory entry durable — keep (or plant)
+    // a namespace entry whose rollback deletes the file, retired only by
+    // SyncDir. This is what catches a write path that acknowledges on a
+    // freshly created WAL without ever syncing its directory.
+    bool created_since_barrier = false;
+    undo_log_.erase(
+        std::remove_if(undo_log_.begin(), undo_log_.end(),
+                       [&](const Undo& u) {
+                         if (u.barrier != Undo::Barrier::kData ||
+                             u.name != name) {
+                           return false;
+                         }
+                         created_since_barrier |= !u.existed;
+                         return true;
+                       }),
+        undo_log_.end());
+    if (created_since_barrier &&
+        !HasUndoLocked(Undo::Barrier::kNamespace, name)) {
+      Undo undo;
+      undo.barrier = Undo::Barrier::kNamespace;
+      undo.name = name;
+      undo.existed = false;  // rollback = unlink the never-dir-synced file
+      undo_log_.push_back(std::move(undo));
+    }
+  }
+  return s;
+}
+
+Status FaultFs::SyncDir() {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  double keep = -1.0;
+  if (CountOpLocked("syncdir", &keep)) return CrashedStatus();
+  Status s = base_->SyncDir();
+  if (s.ok() && unsynced_loss_) {
+    // Directory entries are durable: creates/deletes/renames survive.
+    undo_log_.erase(
+        std::remove_if(undo_log_.begin(), undo_log_.end(),
+                       [](const Undo& u) {
+                         return u.barrier == Undo::Barrier::kNamespace;
+                       }),
+        undo_log_.end());
+  }
+  return s;
+}
+
+Result<std::string> FaultFs::Read(const std::string& name, uint64_t offset,
+                                  uint64_t len) const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return base_->Read(name, offset, len);
+}
+
+Result<std::string> FaultFs::ReadAll(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return base_->ReadAll(name);
+}
+
+Result<uint64_t> FaultFs::FileSize(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return base_->FileSize(name);
+}
+
+bool FaultFs::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return base_->Exists(name);
+}
+
+std::vector<std::string> FaultFs::List(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return base_->List(prefix);
+}
+
+std::shared_ptr<const std::string> FaultFs::Blob(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return base_->Blob(name);
+}
+
+bool FaultFs::Corrupt(const std::string& name, size_t offset, uint8_t mask) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return base_->Corrupt(name, offset, mask);
+}
+
+void FaultFs::set_enclave(std::shared_ptr<sgx::Enclave> enclave) {
+  base_->set_enclave(enclave);
+  Fs::set_enclave(std::move(enclave));
 }
 
 }  // namespace elsm::storage

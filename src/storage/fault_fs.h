@@ -1,30 +1,55 @@
-// Fault-injecting filesystem for crash-recovery testing.
+// Fault-injecting filesystem decorator for crash-recovery testing.
 //
-// FaultFs wraps SimFs and counts mutating operations (Write / Append /
-// Delete / Rename). ScheduleCrash(n) arms a "power failure" n mutating ops
-// from now: the n-th op is *torn* — only a prefix of its payload reaches
-// the disk (Write/Append; Delete/Rename simply do not happen) — and every
-// later mutating op fails with IOError until ClearCrash(). Reads keep
-// working throughout: after the crash the recovery path inspects the same
+// FaultFs wraps any storage::Fs backend (SimFs by default, PosixFs in the
+// on-disk torture suites) and counts mutating operations (Write / Append /
+// Delete / Rename / Sync / SyncDir). ScheduleCrash(n) arms a "power
+// failure" n mutating ops from now: the n-th op is *torn* — only a prefix
+// of its payload reaches the disk (Write/Append; Delete/Rename/Sync simply
+// do not happen) — and every later mutating op fails with IOError until
+// ClearCrash(). Reads keep working throughout and pass straight to the
+// wrapped backend: after the crash the recovery path inspects the same
 // (torn) disk image, exactly like a reboot over a real block device.
 //
 // The torn op also returns IOError, because in a real crash the caller
 // never observes completion — tests must treat the in-flight op as
 // indeterminate (it may or may not have (partially) landed).
+//
+// Unsynced-data loss (EnableUnsyncedLoss): by default the decorator models
+// a disk with an infinite battery — every completed op survives the crash.
+// With unsynced loss enabled it models the real Fs::Sync contract instead:
+// mutations land in the "page cache" (the wrapped backend) immediately,
+// but the decorator keeps an undo log of everything since the last
+// durability barrier — Sync(name) retires the data undo entries of `name`,
+// SyncDir() retires the namespace (create/Delete/Rename) entries — and
+// when the crash fires, the undo log is rolled back newest-first, dropping
+// every write the store never fsynced. The model is strict about the two
+// classic fsync traps: a file *created* since the last SyncDir vanishes at
+// the crash even if its data was fsynced (the directory entry was not),
+// and data renamed into place without a prior Sync survives a durable
+// rename only as the zero-length/prefix file (the dirt migrates to the new
+// name). This is what verifies the engine's fsync ordering (WAL sync +
+// one-time directory sync before acknowledge, SSTable sync before
+// manifest, manifest Sync+Rename+SyncDir before counter bump): any missing
+// barrier surfaces as lost acknowledged data in the torture suites.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
-#include "storage/simfs.h"
+#include "storage/fs.h"
 
 namespace elsm::storage {
 
-class FaultFs : public SimFs {
+class FaultFs : public Fs {
  public:
-  explicit FaultFs(std::shared_ptr<sgx::Enclave> enclave)
-      : SimFs(std::move(enclave)) {}
+  // Decorates `base`; all I/O is forwarded to it.
+  explicit FaultFs(std::shared_ptr<Fs> base);
+  // Convenience: decorates a fresh SimFs on `enclave` (the historical
+  // constructor the simulated torture suites use).
+  explicit FaultFs(std::shared_ptr<sgx::Enclave> enclave);
 
   // Crash on the `ops_from_now`-th mutating op from now (1 = the very next
   // one). That op keeps only floor(bytes * keep_fraction) of its payload;
@@ -35,33 +60,77 @@ class FaultFs : public SimFs {
   // Lift the failure so the store can be reopened on the surviving image.
   void ClearCrash();
 
+  // Model unsynced-data loss: a crash also rolls back every mutation not
+  // yet covered by a Sync/SyncDir barrier. Enable before the workload.
+  void EnableUnsyncedLoss(bool on = true);
+
   bool crashed() const;
   // Kind of the op the crash landed on ("append", "write", "delete",
-  // "rename"), empty until the crash fires. Lets tests report coverage of
-  // the crash surface across seeds.
+  // "rename", "sync", "syncdir"), empty until the crash fires. Lets tests
+  // report coverage of the crash surface across seeds.
   std::string crash_op() const;
   uint64_t mutating_ops() const;
+  Fs& base() { return *base_; }
 
+  // --- mutating ops: counted, crash-eligible -------------------------------
   Status Write(const std::string& name, std::string contents) override;
   Status Append(const std::string& name, std::string_view data) override;
   Status Delete(const std::string& name) override;
   Status Rename(const std::string& from, const std::string& to) override;
+  Status Sync(const std::string& name) override;
+  Status SyncDir() override;
+
+  // --- reads: forwarded, never fault-injected ------------------------------
+  Result<std::string> Read(const std::string& name, uint64_t offset,
+                           uint64_t len) const override;
+  Result<std::string> ReadAll(const std::string& name) const override;
+  Result<uint64_t> FileSize(const std::string& name) const override;
+  bool Exists(const std::string& name) const override;
+  std::vector<std::string> List(std::string_view prefix) const override;
+  std::shared_ptr<const std::string> Blob(
+      const std::string& name) const override;
+  bool Corrupt(const std::string& name, size_t offset,
+               uint8_t mask = 0x01) override;
+
+  void set_enclave(std::shared_ptr<sgx::Enclave> enclave) override;
 
  private:
-  // Returns true when the caller must fail with IOError; sets *keep to the
-  // payload fraction to land when this op is the crash point (and to a
-  // negative value otherwise, meaning "nothing lands").
-  bool CountOp(const char* kind, double* keep);
+  // One rollback step: restore `name` to its pre-op image. kData entries
+  // retire at Sync(name), kNamespace entries at SyncDir(); whatever is
+  // still in the log when the crash fires gets undone, newest first.
+  struct Undo {
+    enum class Barrier { kData, kNamespace };
+    Barrier barrier;
+    std::string name;
+    bool existed = false;
+    std::string content;
+  };
+
+  // Counts one mutating op under fault_mu_ (already held). Returns true
+  // when the caller must fail with IOError; sets *keep to the payload
+  // fraction to land when this op is the crash point (negative otherwise).
+  bool CountOpLocked(const char* kind, double* keep);
+  bool HasUndoLocked(Undo::Barrier barrier, const std::string& name) const;
+  // Captures `name`'s pre-image into the undo log (unsynced mode only).
+  void SnapshotLocked(Undo::Barrier barrier, const std::string& name);
+  // Rolls the undo log back against the base (the crash just fired).
+  void DropUnsyncedLocked();
   static Status CrashedStatus() {
     return Status::IOError("simulated crash: disk is gone");
   }
 
+  std::shared_ptr<Fs> base_;
+
+  // Held across each whole mutating op (count + forward), so a concurrent
+  // crash can never interleave its rollback with a half-applied op.
   mutable std::mutex fault_mu_;
   uint64_t ops_ = 0;
   uint64_t crash_at_ = 0;  // 0 = disarmed; otherwise absolute op index
   double keep_fraction_ = 0.0;
   bool crashed_ = false;
+  bool unsynced_loss_ = false;
   std::string crash_op_;
+  std::vector<Undo> undo_log_;
 };
 
 }  // namespace elsm::storage

@@ -1,0 +1,25 @@
+#include "storage/fs.h"
+
+#include "storage/posix_fs.h"
+#include "storage/simfs.h"
+
+namespace elsm::storage {
+
+Result<std::string> Fs::ReadAll(const std::string& name) const {
+  auto size = FileSize(name);
+  if (!size.ok()) return size.status();
+  return Read(name, 0, size.value());
+}
+
+std::shared_ptr<Fs> MakeFs(BackendKind kind, const std::string& dir,
+                           std::shared_ptr<sgx::Enclave> enclave) {
+  switch (kind) {
+    case BackendKind::kPosix:
+      return std::make_shared<PosixFs>(std::move(enclave), dir);
+    case BackendKind::kSim:
+      break;
+  }
+  return std::make_shared<SimFs>(std::move(enclave));
+}
+
+}  // namespace elsm::storage

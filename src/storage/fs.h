@@ -1,0 +1,117 @@
+// storage::Fs — the pluggable untrusted-storage backend boundary.
+//
+// Every layer above storage/ (lsm, auth, elsm) programs against this
+// interface; concrete backends are:
+//   * SimFs   (storage/simfs.h)    — deterministic in-memory disk, the
+//     paper's memory-resident evaluation substrate and the default.
+//   * PosixFs (storage/posix_fs.h) — real files under a root directory,
+//     with honest fsync durability.
+//   * FaultFs (storage/fault_fs.h) — crash-injection decorator over any
+//     backend, for the recovery torture suites.
+//
+// Files are immutable-after-write blobs except for Append (WAL). Blobs are
+// handed out as shared_ptr so MmapRegion keeps content alive past Delete
+// (real mmap-after-unlink semantics).
+//
+// Durability contract (the part SimFs gets for free and PosixFs must earn):
+//   * Write/Append/Delete/Rename only promise that *subsequent reads
+//     through this Fs* observe the new state ("page cache" visibility).
+//     None of them promise the state survives a power failure.
+//   * Sync(name) — on return, all previously completed Write/Append data
+//     of `name` has reached durable media (fsync(2) semantics). The
+//     existence of a freshly created file is NOT guaranteed durable until
+//     SyncDir() (its directory entry may still be volatile).
+//   * SyncDir() — on return, all previously completed namespace
+//     operations (create/Delete/Rename) are durable (directory-fsync
+//     semantics, applied to every directory of the store).
+//   * The crash-consistent install sequence for an authoritative file is
+//     therefore: Write(tmp); Sync(tmp); Rename(tmp, final); SyncDir().
+//     ElsmDb/ShardedDb use exactly that for manifests, and Sync the WAL
+//     after every acknowledged append (Options::sync_writes).
+// SimFs is always-durable, so its Sync/SyncDir are free no-ops; FaultFs's
+// unsynced-loss mode drops everything not covered by this contract at a
+// simulated power failure, which is what holds the callers honest.
+//
+// All methods must be thread-safe. Reads must keep working after a crash
+// or fault injection — a dead disk is still readable by the recovery path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sgxsim/enclave.h"
+
+namespace elsm::storage {
+
+class Fs {
+ public:
+  explicit Fs(std::shared_ptr<sgx::Enclave> enclave)
+      : enclave_(std::move(enclave)) {}
+  virtual ~Fs() = default;
+
+  Fs(const Fs&) = delete;
+  Fs& operator=(const Fs&) = delete;
+
+  // Creates or replaces `name` with `contents` (atomic replace: a reader
+  // never observes a mix of old and new bytes, though a crash may).
+  virtual Status Write(const std::string& name, std::string contents) = 0;
+  // Appends to `name`, creating it if missing (WAL-style framing is the
+  // caller's concern).
+  virtual Status Append(const std::string& name, std::string_view data) = 0;
+
+  virtual Result<std::string> Read(const std::string& name, uint64_t offset,
+                                   uint64_t len) const = 0;
+  virtual Result<std::string> ReadAll(const std::string& name) const;
+  virtual Result<uint64_t> FileSize(const std::string& name) const = 0;
+
+  virtual Status Delete(const std::string& name) = 0;
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  // Durability barriers — see the contract in the file comment.
+  virtual Status Sync(const std::string& name) = 0;
+  virtual Status SyncDir() = 0;
+
+  virtual bool Exists(const std::string& name) const = 0;
+  virtual std::vector<std::string> List(std::string_view prefix) const = 0;
+
+  // Zero-copy blob handle for mmap simulation (nullptr if missing). The
+  // handle pins the content past Delete; like a real shared mapping it MAY
+  // observe later in-place tampering of the underlying bytes (Corrupt).
+  virtual std::shared_ptr<const std::string> Blob(
+      const std::string& name) const = 0;
+
+  // Adversary hook: XOR one byte of the stored file at offset % size, as a
+  // malicious host flipping bits on the untrusted disk. Charges no cost.
+  // Visible through live Blob handles (mmap semantics). Returns false when
+  // the file is missing or empty.
+  virtual bool Corrupt(const std::string& name, size_t offset,
+                       uint8_t mask = 0x01) = 0;
+
+  sgx::Enclave& enclave() const { return *enclave_; }
+  const std::shared_ptr<sgx::Enclave>& enclave_shared() const {
+    return enclave_;
+  }
+  // Re-attach the filesystem to a fresh enclave (simulated "reboot": the
+  // disk survives, the enclave instance does not).
+  virtual void set_enclave(std::shared_ptr<sgx::Enclave> enclave) {
+    enclave_ = std::move(enclave);
+  }
+
+ protected:
+  std::shared_ptr<sgx::Enclave> enclave_;
+};
+
+// Backend selection, threaded through elsm::Options and ycsb_tool
+// --backend={sim,posix}.
+enum class BackendKind { kSim, kPosix };
+
+// Creates a backend instance. `dir` is the on-disk root directory for
+// kPosix (ignored by kSim).
+std::shared_ptr<Fs> MakeFs(BackendKind kind, const std::string& dir,
+                           std::shared_ptr<sgx::Enclave> enclave);
+
+}  // namespace elsm::storage

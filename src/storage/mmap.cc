@@ -2,7 +2,7 @@
 
 namespace elsm::storage {
 
-Result<MmapRegion> MmapRegion::Open(SimFs& fs, const std::string& name) {
+Result<MmapRegion> MmapRegion::Open(const Fs& fs, const std::string& name) {
   auto blob = fs.Blob(name);
   if (blob == nullptr) return Status::IOError("no such file: " + name);
   sgx::Enclave& enclave = fs.enclave();

@@ -11,13 +11,13 @@
 
 #include "common/status.h"
 #include "sgxsim/enclave.h"
-#include "storage/simfs.h"
+#include "storage/fs.h"
 
 namespace elsm::storage {
 
 class MmapRegion {
  public:
-  static Result<MmapRegion> Open(SimFs& fs, const std::string& name);
+  static Result<MmapRegion> Open(const Fs& fs, const std::string& name);
 
   // Reads [offset, offset+len) as a view; charges untrusted-memory access.
   Result<std::string_view> Read(uint64_t offset, uint64_t len) const;

@@ -1,0 +1,394 @@
+#include "storage/posix_fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace elsm::storage {
+namespace fsys = std::filesystem;
+namespace {
+
+// Suffix of the transient sibling Write() renames over its target. Never
+// visible through List(); stranded copies (hard process kill mid-Write)
+// are swept at the next PosixFs construction over the root — a "mount" —
+// when no Write can still be in flight.
+constexpr std::string_view kTmpSuffix = ".ptmp";
+
+bool IsTmpName(std::string_view name) {
+  return name.size() >= kTmpSuffix.size() &&
+         name.compare(name.size() - kTmpSuffix.size(), kTmpSuffix.size(),
+                      kTmpSuffix) == 0;
+}
+
+Status Errno(const std::string& op, const std::string& name) {
+  return Status::IOError(op + " " + name + ": " + std::strerror(errno));
+}
+
+Status WriteWholeFd(int fd, std::string_view data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write: ") + std::strerror(errno));
+    }
+    done += size_t(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadRange(const std::string& path, const std::string& name,
+                              uint64_t offset, uint64_t len) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IOError("no such file: " + name);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Errno("stat", name);
+  }
+  const uint64_t size = uint64_t(st.st_size);
+  if (offset > size) {
+    ::close(fd);
+    return Status::IOError("read past EOF: " + name);
+  }
+  const uint64_t n = std::min<uint64_t>(len, size - offset);
+  std::string out(n, '\0');
+  uint64_t done = 0;
+  while (done < n) {
+    const ssize_t got =
+        ::pread(fd, out.data() + done, n - done, off_t(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("pread", name);
+    }
+    if (got == 0) break;  // concurrently truncated: return what exists
+    done += uint64_t(got);
+  }
+  ::close(fd);
+  out.resize(done);
+  return out;
+}
+
+Status FsyncPath(const std::string& path, const std::string& label) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IOError("no such file: " + label);
+  Status s = Status::Ok();
+  if (::fsync(fd) != 0) s = Errno("fsync", label);
+  ::close(fd);
+  return s;
+}
+
+}  // namespace
+
+PosixFs::PosixFs(std::shared_ptr<sgx::Enclave> enclave, std::string root)
+    : Fs(std::move(enclave)), root_(std::move(root)) {
+  if (root_.empty()) {
+    root_status_ = Status::InvalidArgument("PosixFs needs a root directory");
+    return;
+  }
+  while (root_.size() > 1 && root_.back() == '/') root_.pop_back();
+  std::error_code ec;
+  fsys::create_directories(root_, ec);
+  if (ec) {
+    root_status_ =
+        Status::IOError("cannot create root " + root_ + ": " + ec.message());
+    return;
+  }
+  // Mount-time recovery: a hard process kill mid-Write can strand a
+  // ".ptmp" sibling, which List() hides from the store's orphan GC. Only
+  // a *previous process* can have stranded one (in-process Writes clean
+  // up on every failure path), so one sweep per (process, root) suffices
+  // — ShardedDb's N+1 instances over a shared --dir must not each walk
+  // the whole tree.
+  static std::mutex swept_mu;
+  static std::set<std::string>* swept_roots = new std::set<std::string>();
+  bool first_mount = false;
+  {
+    std::error_code canon_ec;
+    std::string canonical = fsys::weakly_canonical(root_, canon_ec).string();
+    if (canon_ec) canonical = root_;
+    std::lock_guard<std::mutex> lock(swept_mu);
+    first_mount = swept_roots->insert(canonical).second;
+  }
+  if (first_mount) SweepStrandedTmp();
+}
+
+void PosixFs::SweepStrandedTmp() {
+  if (!root_status_.ok()) return;
+  std::error_code ec;
+  for (auto it = fsys::recursive_directory_iterator(
+           root_, fsys::directory_options::skip_permission_denied, ec);
+       !ec && it != fsys::recursive_directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file(ec) && IsTmpName(it->path().filename().string())) {
+      std::error_code unlink_ec;
+      fsys::remove(it->path(), unlink_ec);
+    }
+  }
+}
+
+std::string PosixFs::PathFor(const std::string& name) const {
+  if (name.empty() || name.front() == '/' ||
+      name.find('\0') != std::string::npos) {
+    return "";
+  }
+  // Reject traversal out of the root; names are internal, keep it simple.
+  for (size_t pos = 0; (pos = name.find("..", pos)) != std::string::npos;
+       ++pos) {
+    const bool at_start = pos == 0 || name[pos - 1] == '/';
+    const bool at_end = pos + 2 == name.size() || name[pos + 2] == '/';
+    if (at_start && at_end) return "";
+  }
+  return root_ + "/" + name;
+}
+
+Status PosixFs::EnsureParentDirs(const std::string& path) const {
+  std::error_code ec;
+  fsys::create_directories(fsys::path(path).parent_path(), ec);
+  if (ec) {
+    return Status::IOError("cannot create directories for " + path + ": " +
+                           ec.message());
+  }
+  return Status::Ok();
+}
+
+void PosixFs::InvalidateBlob(const std::string& name) {
+  std::lock_guard<std::mutex> lock(blob_mu_);
+  blobs_.erase(name);
+}
+
+void PosixFs::MarkDirsDirty(const std::string& path) {
+  std::lock_guard<std::mutex> lock(dir_mu_);
+  // The parent chain up to the root: a create/delete/rename dirties the
+  // immediate directory, and freshly made intermediate directories dirty
+  // their parents too. Store trees are 2-3 levels deep.
+  fsys::path dir = fsys::path(path).parent_path();
+  while (dir.string().size() >= root_.size() && !dir.empty()) {
+    dirty_dirs_.insert(dir.string());
+    if (dir.string() == root_) break;
+    dir = dir.parent_path();
+  }
+}
+
+Status PosixFs::Write(const std::string& name, std::string contents) {
+  if (!root_status_.ok()) return root_status_;
+  const std::string path = PathFor(name);
+  if (path.empty()) return Status::InvalidArgument("bad file name: " + name);
+  enclave_->ChargeFileWrite(contents.size());
+  Status s = EnsureParentDirs(path);
+  if (!s.ok()) return s;
+  const std::string tmp = path + std::string(kTmpSuffix);
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", name);
+  s = WriteWholeFd(fd, contents);
+  ::close(fd);
+  if (!s.ok()) {
+    (void)::unlink(tmp.c_str());
+    return s;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)::unlink(tmp.c_str());
+    return Errno("rename", name);
+  }
+  MarkDirsDirty(path);
+  InvalidateBlob(name);
+  return Status::Ok();
+}
+
+Status PosixFs::Append(const std::string& name, std::string_view data) {
+  if (!root_status_.ok()) return root_status_;
+  const std::string path = PathFor(name);
+  if (path.empty()) return Status::InvalidArgument("bad file name: " + name);
+  enclave_->ChargeWalAppend(data.size());
+  Status s = EnsureParentDirs(path);
+  if (!s.ok()) return s;
+  struct stat st {};
+  const bool creating = ::stat(path.c_str(), &st) != 0;
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", name);
+  s = WriteWholeFd(fd, data);
+  ::close(fd);
+  if (s.ok()) {
+    if (creating) MarkDirsDirty(path);
+    InvalidateBlob(name);
+  }
+  return s;
+}
+
+Result<std::string> PosixFs::Read(const std::string& name, uint64_t offset,
+                                  uint64_t len) const {
+  if (!root_status_.ok()) return root_status_;
+  const std::string path = PathFor(name);
+  if (path.empty()) return Status::InvalidArgument("bad file name: " + name);
+  auto out = ReadRange(path, name, offset, len);
+  if (out.ok()) enclave_->ChargeFileRead(out.value().size());
+  return out;
+}
+
+Result<uint64_t> PosixFs::FileSize(const std::string& name) const {
+  if (!root_status_.ok()) return root_status_;
+  const std::string path = PathFor(name);
+  if (path.empty()) return Status::InvalidArgument("bad file name: " + name);
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) {
+    return Status::IOError("no such file: " + name);
+  }
+  return uint64_t(st.st_size);
+}
+
+Status PosixFs::Delete(const std::string& name) {
+  if (!root_status_.ok()) return root_status_;
+  const std::string path = PathFor(name);
+  if (path.empty()) return Status::InvalidArgument("bad file name: " + name);
+  // Live Blob handles stay readable past the unlink (mmap-after-unlink):
+  // they own their own in-memory copy; only the cache entry is dropped.
+  InvalidateBlob(name);
+  if (::unlink(path.c_str()) != 0) {
+    return Status::IOError("no such file: " + name);
+  }
+  MarkDirsDirty(path);
+  return Status::Ok();
+}
+
+Status PosixFs::Rename(const std::string& from, const std::string& to) {
+  if (!root_status_.ok()) return root_status_;
+  const std::string from_path = PathFor(from);
+  const std::string to_path = PathFor(to);
+  if (from_path.empty() || to_path.empty()) {
+    return Status::InvalidArgument("bad file name: " + from + " -> " + to);
+  }
+  if (!Exists(from)) return Status::IOError("no such file: " + from);
+  Status s = EnsureParentDirs(to_path);
+  if (!s.ok()) return s;
+  InvalidateBlob(from);
+  InvalidateBlob(to);
+  if (::rename(from_path.c_str(), to_path.c_str()) != 0) {
+    return Errno("rename", from);
+  }
+  MarkDirsDirty(from_path);
+  MarkDirsDirty(to_path);
+  return Status::Ok();
+}
+
+Status PosixFs::Sync(const std::string& name) {
+  if (!root_status_.ok()) return root_status_;
+  const std::string path = PathFor(name);
+  if (path.empty()) return Status::InvalidArgument("bad file name: " + name);
+  return FsyncPath(path, name);
+}
+
+Status PosixFs::SyncDir() {
+  if (!root_status_.ok()) return root_status_;
+  std::set<std::string> dirty;
+  {
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    dirty.swap(dirty_dirs_);
+  }
+  Status s = FsyncPath(root_, root_);
+  if (s.ok()) {
+    for (const std::string& dir : dirty) {
+      if (dir == root_) continue;
+      struct stat st {};
+      if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) continue;
+      s = FsyncPath(dir, dir);
+      if (!s.ok()) break;
+    }
+  }
+  if (!s.ok()) {
+    // A failed barrier leaves every dir's durability unknown (a failed
+    // fsync may clear the kernel's error state); keep the whole set
+    // dirty so a retry cannot falsely report the namespace durable.
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    dirty_dirs_.insert(dirty.begin(), dirty.end());
+  }
+  return s;
+}
+
+bool PosixFs::Exists(const std::string& name) const {
+  if (!root_status_.ok()) return false;
+  const std::string path = PathFor(name);
+  if (path.empty()) return false;
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+std::vector<std::string> PosixFs::List(std::string_view prefix) const {
+  std::vector<std::string> out;
+  if (!root_status_.ok()) return out;
+  std::error_code ec;
+  for (auto it = fsys::recursive_directory_iterator(
+           root_, fsys::directory_options::skip_permission_denied, ec);
+       !ec && it != fsys::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    std::string rel =
+        it->path().lexically_relative(root_).generic_string();
+    if (IsTmpName(rel)) {
+      continue;  // transient Write() sibling, not part of the namespace
+    }
+    if (rel.compare(0, prefix.size(), prefix) == 0) out.push_back(std::move(rel));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::shared_ptr<const std::string> PosixFs::Blob(
+    const std::string& name) const {
+  if (!root_status_.ok()) return nullptr;
+  const std::string path = PathFor(name);
+  if (path.empty()) return nullptr;
+  std::lock_guard<std::mutex> lock(blob_mu_);
+  auto it = blobs_.find(name);
+  if (it != blobs_.end()) {
+    if (auto alive = it->second.lock()) return alive;
+    blobs_.erase(it);
+  }
+  // Like SimFs::Blob, materializing the mapping charges nothing; the
+  // MmapRegion caller charges the mmap-setup OCall.
+  auto range = ReadRange(path, name, 0, UINT64_MAX);
+  if (!range.ok()) return nullptr;
+  auto blob = std::make_shared<std::string>(std::move(range).value());
+  blobs_[name] = blob;
+  return blob;
+}
+
+bool PosixFs::Corrupt(const std::string& name, size_t offset, uint8_t mask) {
+  if (!root_status_.ok()) return false;
+  const std::string path = PathFor(name);
+  if (path.empty()) return false;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) return false;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size == 0) {
+    ::close(fd);
+    return false;
+  }
+  const off_t pos = off_t(offset % size_t(st.st_size));
+  char byte = 0;
+  if (::pread(fd, &byte, 1, pos) != 1) {
+    ::close(fd);
+    return false;
+  }
+  byte = char(uint8_t(byte) ^ mask);
+  const bool ok = ::pwrite(fd, &byte, 1, pos) == 1;
+  ::close(fd);
+  if (ok) {
+    // Mmap semantics: a live shared mapping of the file sees the flip.
+    std::lock_guard<std::mutex> lock(blob_mu_);
+    auto it = blobs_.find(name);
+    if (it != blobs_.end()) {
+      if (auto alive = it->second.lock()) {
+        (*alive)[size_t(pos)] = char(uint8_t((*alive)[size_t(pos)]) ^ mask);
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace elsm::storage

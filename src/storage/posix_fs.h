@@ -1,0 +1,106 @@
+// storage::PosixFs — the first real-disk backend: files live under a root
+// directory on a POSIX filesystem and durability is earned with fsync(2),
+// not assumed (ISSUE 5 / ROADMAP "multi-backend").
+//
+// Mapping: the logical name "elsm/shard-000/000042.sst" becomes
+// "<root>/elsm/shard-000/000042.sst"; parent directories are created on
+// demand. Several PosixFs instances may share one root (ShardedDb gives
+// every shard its own instance — so per-shard enclaves are charged
+// correctly — over one --dir).
+//
+// Semantics vs the Fs contract:
+//   * Write is an atomic replace: the bytes go to a ".ptmp" sibling which
+//     is rename(2)d over the target, so a concurrent reader (or a crash
+//     before Sync) never observes a half-written file — matching SimFs's
+//     whole-blob replace.
+//   * Sync(name) opens the file and fsyncs it; SyncDir() fsyncs the root
+//     plus every directory this instance performed namespace operations
+//     in since the last barrier, making creates/deletes/renames durable
+//     without walking a (possibly shared) root.
+//   * Blob(name) materializes the file into memory once and caches it
+//     weakly, so repeated MmapRegion::Opens of an SSTable share one copy
+//     and — like a real shared mapping — live handles observe Corrupt()'s
+//     on-disk byte flips.
+//   * Costs are charged on the owning enclave exactly like SimFs (the
+//     simulated clock stays comparable); wall-clock time additionally
+//     reflects the real I/O, which is what the --backend=posix bench rows
+//     measure.
+//
+// Thread safety: namespace ops go through per-call fds/std::filesystem and
+// the blob cache is mutex-guarded. Like SimFs, concurrent mutators of the
+// *same* name are the caller's concern (the engine serializes per file).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/fs.h"
+
+namespace elsm::storage {
+
+class PosixFs : public Fs {
+ public:
+  // Creates `root` (and parents) if missing. A root that cannot be created
+  // surfaces as IOError from every subsequent operation.
+  PosixFs(std::shared_ptr<sgx::Enclave> enclave, std::string root);
+
+  Status Write(const std::string& name, std::string contents) override;
+  Status Append(const std::string& name, std::string_view data) override;
+
+  Result<std::string> Read(const std::string& name, uint64_t offset,
+                           uint64_t len) const override;
+  Result<uint64_t> FileSize(const std::string& name) const override;
+
+  Status Delete(const std::string& name) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Sync(const std::string& name) override;
+  Status SyncDir() override;
+
+  bool Exists(const std::string& name) const override;
+  std::vector<std::string> List(std::string_view prefix) const override;
+
+  std::shared_ptr<const std::string> Blob(
+      const std::string& name) const override;
+  bool Corrupt(const std::string& name, size_t offset,
+               uint8_t mask = 0x01) override;
+
+  const std::string& root() const { return root_; }
+
+  // Removes stranded ".ptmp" Write siblings under the root. The
+  // constructor runs it once per (process, root) — only a dead process
+  // can strand one, and ShardedDb opens many instances over one root —
+  // so tests simulating a restart call it directly.
+  void SweepStrandedTmp();
+
+ private:
+  // Absolute path for a validated logical name ("" on bad names).
+  std::string PathFor(const std::string& name) const;
+  Status EnsureParentDirs(const std::string& path) const;
+  void InvalidateBlob(const std::string& name);
+  // Records `path`'s parent chain (up to the root) as namespace-dirty:
+  // SyncDir() fsyncs exactly those directories. Keeps the barrier O(dirs
+  // this instance touched), not O(every directory under a shared root) —
+  // each ShardedDb shard instance only ever pays for its own namespace.
+  void MarkDirsDirty(const std::string& path);
+
+  std::string root_;
+  Status root_status_ = Status::Ok();  // root creation outcome
+
+  // Weak blob cache: alive handles are shared and tamper-visible; dead
+  // entries are reaped lazily.
+  mutable std::mutex blob_mu_;
+  mutable std::map<std::string, std::weak_ptr<std::string>> blobs_;
+
+  // Directories with namespace operations not yet covered by a SyncDir().
+  std::mutex dir_mu_;
+  std::set<std::string> dirty_dirs_;
+};
+
+}  // namespace elsm::storage

@@ -2,7 +2,7 @@
 //
 // This is the structure whose *placement* the paper studies (Fig. 2, 6c, 8):
 //  * placement == kOutsideEnclave — eLSM-P2 / unsecured: hits are plain
-//    untrusted-memory reads; misses load from SimFs.
+//    untrusted-memory reads; misses load from the storage::Fs backend.
 //  * placement == kInsideEnclave — eLSM-P1: the buffer occupies an enclave
 //    region registered with the EPC simulator. Hits touch EPC pages (page
 //    faults once capacity > EPC, the Fig. 2 cliff); misses additionally pay
@@ -22,7 +22,6 @@
 
 #include "common/status.h"
 #include "sgxsim/enclave.h"
-#include "storage/simfs.h"
 
 namespace elsm::storage {
 

@@ -38,12 +38,6 @@ Result<std::string> SimFs::Read(const std::string& name, uint64_t offset,
   return blob->substr(offset, n);
 }
 
-Result<std::string> SimFs::ReadAll(const std::string& name) const {
-  auto size = FileSize(name);
-  if (!size.ok()) return size.status();
-  return Read(name, 0, size.value());
-}
-
 Result<uint64_t> SimFs::FileSize(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);
@@ -66,6 +60,13 @@ Status SimFs::Rename(const std::string& from, const std::string& to) {
   return Status::Ok();
 }
 
+Status SimFs::Sync(const std::string& name) {
+  // Match fsync(2): syncing a file that does not exist is the caller's bug.
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(name) > 0 ? Status::Ok()
+                                : Status::IOError("no such file: " + name);
+}
+
 bool SimFs::Exists(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   return files_.count(name) > 0;
@@ -84,6 +85,14 @@ std::shared_ptr<const std::string> SimFs::Blob(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);
   return it == files_.end() ? nullptr : it->second;
+}
+
+bool SimFs::Corrupt(const std::string& name, size_t offset, uint8_t mask) {
+  auto blob = MutableBlob(name);
+  if (blob == nullptr || blob->empty()) return false;
+  const size_t pos = offset % blob->size();
+  (*blob)[pos] = char(uint8_t((*blob)[pos]) ^ mask);
+  return true;
 }
 
 std::shared_ptr<std::string> SimFs::MutableBlob(const std::string& name) {

@@ -1,18 +1,15 @@
 // In-memory simulated filesystem (DESIGN.md §2: the paper's evaluation is
-// memory-resident, so "disk" behaves like the OS page cache).
+// memory-resident, so "disk" behaves like the OS page cache) — the default
+// storage::Fs backend.
 //
-// Files are immutable-after-write blobs except for Append (WAL). Costs are
-// charged on the owning Enclave: reads charge file_read_*, whole-file writes
-// charge file_write_*, appends charge wal_append_*.
+// Costs are charged on the owning Enclave: reads charge file_read_*,
+// whole-file writes charge file_write_*, appends charge wal_append_*.
+// Sync/SyncDir are free no-ops: an in-memory disk is always "durable"
+// (crash semantics are injected by the FaultFs decorator instead).
 //
-// Blobs are handed out as shared_ptr so MmapRegion keeps content alive past
-// Delete (real mmap-after-unlink semantics). MutableBlob exists for the
-// adversary harness: a malicious host tampering with on-disk bytes.
-//
-// The mutating entry points (Write/Append/Delete/Rename) are virtual so a
-// fault-injection wrapper (storage/fault_fs.h) can tear or drop them at a
-// simulated crash point; reads stay non-virtual — a crashed disk is still
-// readable by the recovery path.
+// MutableBlob exists for SimFs-specific adversary tests that rewrite whole
+// regions (e.g. WAL truncation); the portable byte-flip tamper hook is
+// Fs::Corrupt.
 #pragma once
 
 #include <cstdint>
@@ -25,45 +22,41 @@
 
 #include "common/status.h"
 #include "sgxsim/enclave.h"
+#include "storage/fs.h"
 
 namespace elsm::storage {
 
-class SimFs {
+class SimFs : public Fs {
  public:
   explicit SimFs(std::shared_ptr<sgx::Enclave> enclave)
-      : enclave_(std::move(enclave)) {}
-  virtual ~SimFs() = default;
+      : Fs(std::move(enclave)) {}
 
-  // Creates or replaces `name` with `contents`.
-  virtual Status Write(const std::string& name, std::string contents);
-  // Appends to `name`, creating it if missing (WAL-style framing is the
-  // caller's concern).
-  virtual Status Append(const std::string& name, std::string_view data);
+  Status Write(const std::string& name, std::string contents) override;
+  Status Append(const std::string& name, std::string_view data) override;
 
   Result<std::string> Read(const std::string& name, uint64_t offset,
-                           uint64_t len) const;
-  Result<std::string> ReadAll(const std::string& name) const;
-  Result<uint64_t> FileSize(const std::string& name) const;
+                           uint64_t len) const override;
+  Result<uint64_t> FileSize(const std::string& name) const override;
 
-  virtual Status Delete(const std::string& name);
-  virtual Status Rename(const std::string& from, const std::string& to);
-  bool Exists(const std::string& name) const;
-  std::vector<std::string> List(std::string_view prefix) const;
+  Status Delete(const std::string& name) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  // Always-durable backend: the barriers are free.
+  Status Sync(const std::string& name) override;
+  Status SyncDir() override { return Status::Ok(); }
 
-  // Zero-copy blob handle for mmap simulation (nullptr if missing).
-  std::shared_ptr<const std::string> Blob(const std::string& name) const;
+  bool Exists(const std::string& name) const override;
+  std::vector<std::string> List(std::string_view prefix) const override;
+
+  std::shared_ptr<const std::string> Blob(
+      const std::string& name) const override;
+  bool Corrupt(const std::string& name, size_t offset,
+               uint8_t mask = 0x01) override;
+
   // Adversary access: direct mutation of stored bytes, no cost charged.
+  // SimFs-only (a real disk has no such handle; use Corrupt portably).
   std::shared_ptr<std::string> MutableBlob(const std::string& name);
 
-  sgx::Enclave& enclave() const { return *enclave_; }
-  // Re-attach the filesystem to a fresh enclave (simulated "reboot": the
-  // disk survives, the enclave instance does not).
-  void set_enclave(std::shared_ptr<sgx::Enclave> enclave) {
-    enclave_ = std::move(enclave);
-  }
-
  private:
-  std::shared_ptr<sgx::Enclave> enclave_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<std::string>> files_;
 };

@@ -40,7 +40,7 @@ Status WalWriter::AppendBatch(const std::vector<std::string>& payloads) {
   return fs_->Append(name_, frames);
 }
 
-Result<WalContents> ReadWal(const SimFs& fs, const std::string& name) {
+Result<WalContents> ReadWal(const Fs& fs, const std::string& name) {
   if (!fs.Exists(name)) return WalContents{};
   auto all = fs.ReadAll(name);
   if (!all.ok()) return all.status();

@@ -1,4 +1,4 @@
-// Write-ahead log framing on top of SimFs (paper §5.3 write path, w3).
+// Write-ahead log framing on top of storage::Fs (paper §5.3 write path, w3).
 //
 // Frame: fixed32 payload length || fixed32 checksum (first 4 bytes of
 // SHA-256 over the payload) || payload. The checksum guards against benign
@@ -10,22 +10,26 @@
 #include <vector>
 
 #include "common/status.h"
-#include "storage/simfs.h"
+#include "storage/fs.h"
 
 namespace elsm::storage {
 
 class WalWriter {
  public:
-  WalWriter(SimFs* fs, std::string name) : fs_(fs), name_(std::move(name)) {}
+  WalWriter(Fs* fs, std::string name) : fs_(fs), name_(std::move(name)) {}
 
   Status Append(std::string_view payload);
   // Group commit: frames every payload but issues a single filesystem
   // append, so the (simulated) world switch is paid once per batch.
   Status AppendBatch(const std::vector<std::string>& payloads);
+  // Durability barrier: appended frames survive a power failure once this
+  // returns (Fs::Sync contract). The engine calls it before acknowledging
+  // a write when LsmOptions::sync_writes is set.
+  Status Sync() { return fs_->Sync(name_); }
   const std::string& name() const { return name_; }
 
  private:
-  SimFs* fs_;
+  Fs* fs_;
   std::string name_;
 };
 
@@ -36,6 +40,6 @@ struct WalContents {
   uint64_t valid_bytes = 0;
   bool clean = true;  // false if trailing garbage was skipped
 };
-Result<WalContents> ReadWal(const SimFs& fs, const std::string& name);
+Result<WalContents> ReadWal(const Fs& fs, const std::string& name);
 
 }  // namespace elsm::storage

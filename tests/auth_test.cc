@@ -8,6 +8,7 @@
 #include "auth/proof.h"
 #include "auth/verifier.h"
 #include "auth/wal_digest.h"
+#include "storage/simfs.h"
 
 namespace elsm::auth {
 namespace {

@@ -15,6 +15,7 @@
 
 #include "elsm/elsm_db.h"
 #include "elsm/sharded_db.h"
+#include "storage/simfs.h"
 
 namespace elsm {
 namespace {

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -20,6 +21,9 @@
 #include "elsm/elsm_db.h"
 #include "elsm/sharded_db.h"
 #include "storage/fault_fs.h"
+#include "storage/posix_fs.h"
+#include "storage/simfs.h"
+#include "temp_dir.h"
 
 namespace elsm {
 namespace {
@@ -122,14 +126,30 @@ void CheckRecovered(ElsmDb& db, const std::map<std::string, std::string>& shadow
   }
 }
 
-TEST(CrashRecoveryTest, RandomCrashPointsRecoverToShadowState) {
+// The torture loop, shared by every (backend, loss-model) combination:
+// `backend` picks the base Fs under the FaultFs decorator ("sim" or
+// "posix" — the latter on a throwaway real directory per seed);
+// `unsynced_loss` additionally drops everything not fsynced at the crash,
+// which is what proves the engine's Sync ordering and not just its
+// torn-op tolerance.
+void RunCrashTorture(const std::string& backend, bool unsynced_loss,
+                     uint64_t seeds) {
   int crashes_seen = 0;
   std::map<std::string, int> crash_ops;  // op kind -> count (coverage)
-  for (uint64_t seed = 0; seed < 50; ++seed) {
+  for (uint64_t seed = 0; seed < seeds; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     Rng rng(0x9000 + seed);
     auto enclave = std::make_shared<sgx::Enclave>(sgx::CostModel{}, true);
-    auto fs = std::make_shared<storage::FaultFs>(enclave);
+    test_util::TempDir dir;  // per-seed scratch root (posix only)
+    std::shared_ptr<storage::Fs> base;
+    if (backend == "posix") {
+      ASSERT_TRUE(dir.ok());
+      base = std::make_shared<storage::PosixFs>(enclave, dir.path());
+    } else {
+      base = std::make_shared<storage::SimFs>(enclave);
+    }
+    auto fs = std::make_shared<storage::FaultFs>(base);
+    if (unsynced_loss) fs->EnableUnsyncedLoss();
     auto platform = std::make_shared<TrustedPlatform>();
     std::map<std::string, std::string> shadow;
 
@@ -183,11 +203,31 @@ TEST(CrashRecoveryTest, RandomCrashPointsRecoverToShadowState) {
     ASSERT_TRUE(got.value().has_value());
     EXPECT_EQ(*got.value(), "alive");
   }
-  // With 50 seeds the crash surface must actually be exercised, and across
-  // WAL appends (append), SSTable/manifest writes (write) and the
-  // manifest's atomic install (rename).
-  EXPECT_GE(crashes_seen, 30);
+  // Most seeds must actually crash, and across several op kinds: WAL
+  // appends (append), SSTable/manifest writes (write), the manifest's
+  // atomic install (rename) and — with sync_writes — the durability
+  // barriers themselves (sync/syncdir).
+  EXPECT_GE(crashes_seen, int(seeds * 3 / 5));
   EXPECT_GE(crash_ops.size(), 2u) << "crash landed on too few op kinds";
+}
+
+TEST(CrashRecoveryTest, RandomCrashPointsRecoverToShadowState) {
+  RunCrashTorture("sim", /*unsynced_loss=*/false, /*seeds=*/50);
+}
+
+TEST(CrashRecoveryTest, RandomCrashPointsRecoverWithUnsyncedLoss) {
+  // Same torture, but the crash also drops every write the store never
+  // fsynced — any missing Sync/SyncDir in the write path shows up here as
+  // lost acknowledged data or a false attack on reopen.
+  RunCrashTorture("sim", /*unsynced_loss=*/true, /*seeds=*/30);
+}
+
+TEST(CrashRecoveryTest, RandomCrashPointsRecoverOnPosixBackend) {
+  RunCrashTorture("posix", /*unsynced_loss=*/false, /*seeds=*/20);
+}
+
+TEST(CrashRecoveryTest, RandomCrashPointsRecoverOnPosixWithUnsyncedLoss) {
+  RunCrashTorture("posix", /*unsynced_loss=*/true, /*seeds=*/15);
 }
 
 TEST(CrashRecoveryTest, TornWalTailLosesOnlyUnacknowledgedOps) {

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "elsm/elsm_db.h"
+#include "storage/simfs.h"
 
 namespace elsm {
 namespace {

@@ -13,6 +13,7 @@
 #include "lsm/skiplist.h"
 #include "lsm/sstable.h"
 #include "lsm/version.h"
+#include "storage/simfs.h"
 
 namespace elsm::lsm {
 namespace {

@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "crypto/ope.h"
 #include "elsm/elsm_db.h"
+#include "storage/simfs.h"
 
 namespace elsm {
 namespace {

@@ -7,6 +7,8 @@
 #include "auth/proof.h"
 #include "auth/verifier.h"
 #include "elsm/elsm_db.h"
+#include "storage/simfs.h"
+#include "temp_dir.h"
 
 namespace elsm {
 namespace {
@@ -29,10 +31,19 @@ std::string Key(int i) {
 
 // Fixture giving tests direct access to the engine / assembler / verifier
 // triple so attacks can be mounted between assembly and verification.
-class SecurityTest : public ::testing::Test {
+// Parameterized over the storage backend: every attack must be rejected
+// identically whether the untrusted disk is the in-memory SimFs or real
+// files under a scratch directory (PosixFs).
+class SecurityTest : public ::testing::TestWithParam<const char*> {
  protected:
   void SetUp() override {
-    auto db = ElsmDb::Create(SmallOptions());
+    Options o = SmallOptions();
+    if (std::string(GetParam()) == "posix") {
+      ASSERT_TRUE(dir_.ok());
+      o.backend = storage::BackendKind::kPosix;
+      o.backend_dir = dir_.path();
+    }
+    auto db = ElsmDb::Create(o);
     ASSERT_TRUE(db.ok());
     db_ = std::move(db).value();
     // Two generations of every key so stale-record attacks have material.
@@ -51,7 +62,7 @@ class SecurityTest : public ::testing::Test {
     auto resp = db_->engine().Get(key, ts_max);
     if (!resp.ok()) return resp.status();
     auth::ProofAssembler assembler(
-        std::shared_ptr<storage::SimFs>(&db_->fs(), [](auto*) {}));
+        std::shared_ptr<storage::Fs>(&db_->fs(), [](auto*) {}));
     return assembler.AssembleGet(resp.value(), db_->engine().levels());
   }
 
@@ -60,7 +71,7 @@ class SecurityTest : public ::testing::Test {
     auto resp = db_->engine().Scan(k1, k2);
     if (!resp.ok()) return resp.status();
     auth::ProofAssembler assembler(
-        std::shared_ptr<storage::SimFs>(&db_->fs(), [](auto*) {}));
+        std::shared_ptr<storage::Fs>(&db_->fs(), [](auto*) {}));
     return assembler.AssembleScan(resp.value(), db_->engine().levels());
   }
 
@@ -79,16 +90,20 @@ class SecurityTest : public ::testing::Test {
     return result.status();
   }
 
+  test_util::TempDir dir_;
   std::unique_ptr<ElsmDb> db_;
 };
 
-TEST_F(SecurityTest, HonestProofVerifies) {
+INSTANTIATE_TEST_SUITE_P(Backends, SecurityTest,
+                         ::testing::Values("sim", "posix"));
+
+TEST_P(SecurityTest, HonestProofVerifies) {
   auto proof = AssembleFor(Key(50));
   ASSERT_TRUE(proof.ok());
   EXPECT_TRUE(VerifyGet(Key(50), proof.value()).ok());
 }
 
-TEST_F(SecurityTest, ForgedValueRejected) {
+TEST_P(SecurityTest, ForgedValueRejected) {
   auto proof = AssembleFor(Key(50));
   ASSERT_TRUE(proof.ok());
   ASSERT_TRUE(auth::Adversary::ForgeResultValue(&proof.value()));
@@ -96,7 +111,7 @@ TEST_F(SecurityTest, ForgedValueRejected) {
   EXPECT_TRUE(s.IsAuthFailure()) << s.ToString();
 }
 
-TEST_F(SecurityTest, StaleRecordWithinLevelRejected) {
+TEST_P(SecurityTest, StaleRecordWithinLevelRejected) {
   // Compacted store: both generations of Key(50) share one level's chain.
   // The adversary fetches the *old* record (it sits in the level with its
   // own legitimate embedded proof) and presents it as the latest answer.
@@ -115,7 +130,7 @@ TEST_F(SecurityTest, StaleRecordWithinLevelRejected) {
   EXPECT_TRUE(s.IsAuthFailure()) << s.ToString();
 }
 
-TEST_F(SecurityTest, SuppressedHitRejected) {
+TEST_P(SecurityTest, SuppressedHitRejected) {
   auto proof = AssembleFor(Key(50));
   ASSERT_TRUE(proof.ok());
   ASSERT_TRUE(auth::Adversary::SuppressShallowHit(&proof.value()));
@@ -123,7 +138,7 @@ TEST_F(SecurityTest, SuppressedHitRejected) {
   EXPECT_TRUE(s.IsAuthFailure()) << s.ToString();
 }
 
-TEST_F(SecurityTest, ClaimedMissRejected) {
+TEST_P(SecurityTest, ClaimedMissRejected) {
   auto proof = AssembleFor(Key(50));
   ASSERT_TRUE(proof.ok());
   ASSERT_TRUE(auth::Adversary::ClaimMissingKey(&proof.value()));
@@ -131,7 +146,7 @@ TEST_F(SecurityTest, ClaimedMissRejected) {
   EXPECT_TRUE(s.IsAuthFailure()) << s.ToString();
 }
 
-TEST_F(SecurityTest, DroppedScanRecordRejected) {
+TEST_P(SecurityTest, DroppedScanRecordRejected) {
   auto proof = AssembleScanFor(Key(40), Key(60));
   ASSERT_TRUE(proof.ok());
   ASSERT_TRUE(auth::Adversary::DropScanRecord(&proof.value()));
@@ -139,13 +154,13 @@ TEST_F(SecurityTest, DroppedScanRecordRejected) {
   EXPECT_TRUE(s.IsAuthFailure()) << s.ToString();
 }
 
-TEST_F(SecurityTest, HonestScanVerifies) {
+TEST_P(SecurityTest, HonestScanVerifies) {
   auto proof = AssembleScanFor(Key(40), Key(60));
   ASSERT_TRUE(proof.ok());
   EXPECT_TRUE(VerifyScan(Key(40), Key(60), proof.value()).ok());
 }
 
-TEST_F(SecurityTest, TamperedSstableDetectedOnRead) {
+TEST_P(SecurityTest, TamperedSstableDetectedOnRead) {
   // Corrupt a data file on disk; the next GET touching it must fail
   // verification (or block parsing) rather than return the tampered bytes.
   std::string victim;
@@ -171,7 +186,7 @@ TEST_F(SecurityTest, TamperedSstableDetectedOnRead) {
   EXPECT_GT(failures, 0);
 }
 
-TEST_F(SecurityTest, TamperedTreeSidecarDetected) {
+TEST_P(SecurityTest, TamperedTreeSidecarDetected) {
   std::string victim;
   for (const auto& name : db_->fs().List(db_->options().name)) {
     if (name.ends_with(".tree")) {
@@ -191,7 +206,7 @@ TEST_F(SecurityTest, TamperedTreeSidecarDetected) {
   EXPECT_GT(failures, 0);
 }
 
-TEST_F(SecurityTest, TamperedInputAbortsCompaction) {
+TEST_P(SecurityTest, TamperedInputAbortsCompaction) {
   // Corrupt a level file, then force a compaction over it: the in-enclave
   // input digest check (Fig. 4 lines 31-33) must abort the merge.
   std::string victim;

@@ -86,6 +86,22 @@ TEST(WalTest, AppendAndReadAll) {
   EXPECT_EQ(contents.value().records[2].size(), 5000u);
 }
 
+TEST(SimFsTest, SyncContract) {
+  // SimFs is always durable, so the barriers are free — but Sync of a
+  // missing file is still the caller's bug, matching fsync(2) and the
+  // posix backend.
+  auto enclave = MakeEnclave();
+  SimFs fs(enclave);
+  const uint64_t before = enclave->now_ns();
+  ASSERT_TRUE(fs.Write("f", "data").ok());
+  const uint64_t after_write = enclave->now_ns();
+  EXPECT_TRUE(fs.Sync("f").ok());
+  EXPECT_TRUE(fs.SyncDir().ok());
+  EXPECT_EQ(enclave->now_ns(), after_write) << "Sync must charge nothing";
+  EXPECT_GT(after_write, before);
+  EXPECT_FALSE(fs.Sync("missing").ok());
+}
+
 TEST(WalTest, MissingWalIsEmpty) {
   SimFs fs(MakeEnclave());
   auto contents = ReadWal(fs, "nope");

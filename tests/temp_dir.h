@@ -1,0 +1,40 @@
+// RAII scratch directory for the posix-backend test suites: mkdtemp under
+// the system temp root, recursively removed on destruction — so every
+// ctest shard is temp-dir scoped and cleaned on exit even when assertions
+// fire mid-test.
+#pragma once
+
+#include <stdlib.h>
+
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+namespace elsm::test_util {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "elsm-test-XXXXXX").string();
+    const char* made = mkdtemp(tmpl.data());
+    path_ = made == nullptr ? "" : made;
+  }
+  ~TempDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  bool ok() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace elsm::test_util
