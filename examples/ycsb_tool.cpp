@@ -240,9 +240,16 @@ int main(int argc, char** argv) {
   if (sharded != nullptr) {
     uint64_t flushes = 0;
     uint64_t compactions = 0;
+    uint64_t manifest_edits = 0;
+    uint64_t manifest_snapshots = 0;
+    uint64_t manifest_bytes = 0;
     for (uint32_t i = 0; i < sharded->num_shards(); ++i) {
-      flushes += sharded->shard(i).engine().stats().flushes.load();
-      compactions += sharded->shard(i).engine().stats().compactions.load();
+      const auto& es = sharded->shard(i).engine().stats();
+      flushes += es.flushes.load();
+      compactions += es.compactions.load();
+      manifest_edits += es.manifest_edits_appended.load();
+      manifest_snapshots += es.manifest_snapshots_written.load();
+      manifest_bytes += es.manifest_bytes_written.load();
     }
     const auto& fan = sharded->fanout_stats();
     std::printf("sharded: shards=%u flushes=%llu compactions=%llu "
@@ -253,6 +260,10 @@ int main(int argc, char** argv) {
                 (unsigned long long)fan.parallel_dispatches.load(),
                 (unsigned long long)fan.scan_shard_invocations.load(),
                 (unsigned long long)fan.scan_shards_skipped.load());
+    std::printf("manifest: edits=%llu snapshots=%llu bytes=%.1fKiB\n",
+                (unsigned long long)manifest_edits,
+                (unsigned long long)manifest_snapshots,
+                double(manifest_bytes) / 1024.0);
   }
   if (db != nullptr) {
     const auto counters = db->enclave().counters();
@@ -263,6 +274,11 @@ int main(int argc, char** argv) {
                 (unsigned long long)counters.epc_faults,
                 double(counters.bytes_hashed) / 1024.0,
                 db->engine().levels().size());
+    const auto& es = db->engine().stats();
+    std::printf("manifest: edits=%llu snapshots=%llu bytes=%.1fKiB\n",
+                (unsigned long long)es.manifest_edits_appended.load(),
+                (unsigned long long)es.manifest_snapshots_written.load(),
+                double(es.manifest_bytes_written.load()) / 1024.0);
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "common/coding.h"
 #include "crypto/cipher.h"
 #include "crypto/ope.h"
+#include "elsm/manifest_log.h"
 #include "sgxsim/sealed.h"
 
 namespace elsm {
@@ -99,12 +100,23 @@ Result<std::unique_ptr<ElsmDb>> ElsmDb::Open(
   }
   std::unique_ptr<ElsmDb> db(new ElsmDb(options, std::move(fs), platform));
   Status s = db->Recover();
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    // The destructor's Close() must not persist a fresh manifest over the
+    // very state recovery just refused to accept — that would both destroy
+    // the evidence of tampering and write a log whose chain cannot extend
+    // the surviving tail.
+    db->closed_ = true;
+    return s;
+  }
   return db;
 }
 
 Result<std::unique_ptr<ElsmDb>> ElsmDb::Create(const Options& options) {
   return Open(options, nullptr, std::make_shared<TrustedPlatform>());
+}
+
+std::string ElsmDb::edits_name(uint64_t gen) const {
+  return manifest::TailName(options_.name + "/EDITS", gen);
 }
 
 Status ElsmDb::Recover() {
@@ -121,6 +133,14 @@ Status ElsmDb::Recover() {
           "manifest vanished: hardware counter is " +
           std::to_string(platform_->counter.Read()) +
           " but no sealed manifest exists");
+    }
+    if (options_.rollback_defense && !fs_->List(edits_prefix()).empty()) {
+      // The first persist is always a snapshot and snapshot installs only
+      // ever *replace* the file, so no legitimate history has a tail log
+      // without its snapshot — the host dropped the authoritative record
+      // while keeping deltas.
+      return Status::AuthFailure(
+          "manifest edit log present but its snapshot vanished");
     }
     // Fresh store — or a crash before the first manifest persist. Replay
     // whatever the WAL holds; there is no sealed digest to hold it to yet.
@@ -140,45 +160,134 @@ Status ElsmDb::Recover() {
   }
 
   std::string_view cursor(payload.value());
-  uint64_t last_ts = 0;
-  uint64_t flushed_ts = 0;
-  uint64_t wal_count = 0;
-  uint64_t counter_value = 0;
-  crypto::Hash256 wal_dig;
+  manifest::RecordHeader header;
+  manifest::StoreState state;
   std::string_view engine_manifest;
-  if (!GetFixed64(&cursor, &last_ts) || !GetFixed64(&cursor, &flushed_ts) ||
-      cursor.size() < 32) {
-    return Status::Corruption("bad manifest payload");
-  }
-  std::memcpy(wal_dig.data(), cursor.data(), 32);
-  cursor.remove_prefix(32);
-  if (!GetFixed64(&cursor, &wal_count) || !GetFixed64(&cursor, &counter_value) ||
+  if (!manifest::GetHeader(&cursor, &header) ||
+      !manifest::GetStoreState(&cursor, &state) ||
       !GetLengthPrefixed(&cursor, &engine_manifest)) {
     return Status::Corruption("bad manifest payload");
   }
+  if (header.kind != manifest::kSnapshot) {
+    return Status::AuthFailure(
+        "manifest file holds a delta record, not a snapshot (spliced log)");
+  }
+  enclave_->ChargeHash(payload.value().size());
+  crypto::Hash256 chain = crypto::Sha256::Digest(payload.value());
+  uint64_t seq = header.seq;
+  const uint64_t snapshot_gen = header.seq;
+
+  // Replay the snapshot generation's tail log: each complete frame must
+  // unseal, carry the next sequence number, and chain over the previous
+  // record's payload hash — reordering, splicing, or mid-log truncation
+  // all fail closed here. A trailing *partial* frame is the one crash
+  // artifact appends can leave (they are synced before the counter bump
+  // acknowledges them); it is dropped, and the tail is marked dirty so the
+  // next persist supersedes the file instead of appending after garbage.
+  std::vector<std::string> engine_edits;
+  uint64_t tail_records = 0;
+  uint64_t tail_bytes = 0;
+  bool dirty_tail = false;
+  if (fs_->Exists(edits_name(snapshot_gen))) {
+    auto raw = fs_->ReadAll(edits_name(snapshot_gen));
+    if (!raw.ok()) return raw.status();
+    bool torn = false;
+    for (std::string_view frame :
+         manifest::SplitFrames(raw.value(), &torn)) {
+      auto record = sgx::Unseal(platform_->sealing_key, frame);
+      if (!record.ok()) {
+        return Status::AuthFailure("manifest edit record seal broken: " +
+                                   record.status().message());
+      }
+      std::string_view record_cursor(record.value());
+      manifest::RecordHeader record_header;
+      manifest::StoreState record_state;
+      if (!manifest::GetHeader(&record_cursor, &record_header) ||
+          !manifest::GetStoreState(&record_cursor, &record_state)) {
+        return Status::Corruption("bad manifest edit record");
+      }
+      if (record_header.kind != manifest::kDelta) {
+        return Status::AuthFailure(
+            "snapshot record spliced into the manifest edit log");
+      }
+      if (record_header.seq != seq + 1) {
+        return Status::AuthFailure(
+            "manifest edit log sequence break: record " +
+            std::to_string(record_header.seq) + " after " +
+            std::to_string(seq) + " (reordered or spliced records)");
+      }
+      if (record_header.prev_chain != chain) {
+        return Status::AuthFailure(
+            "manifest edit log chain mismatch at record " +
+            std::to_string(record_header.seq));
+      }
+      if (record_state.counter < state.counter) {
+        return Status::AuthFailure(
+            "manifest edit log counter regressed at record " +
+            std::to_string(record_header.seq));
+      }
+      uint32_t edit_count = 0;
+      if (!GetVarint32(&record_cursor, &edit_count)) {
+        return Status::Corruption("bad manifest edit record");
+      }
+      for (uint32_t i = 0; i < edit_count; ++i) {
+        std::string_view edit;
+        if (!GetLengthPrefixed(&record_cursor, &edit)) {
+          return Status::Corruption("bad manifest edit record");
+        }
+        engine_edits.emplace_back(edit);
+      }
+      enclave_->ChargeHash(record.value().size());
+      chain = crypto::Sha256::Digest(record.value());
+      seq = record_header.seq;
+      state = record_state;
+      ++tail_records;
+      tail_bytes += 4 + frame.size();
+    }
+    dirty_tail = torn;
+  }
 
   if (options_.rollback_defense) {
+    // Adjudicate on the newest acknowledged record: torn debris dropped
+    // above never had its bump, so the surviving log is exactly what the
+    // counter covers.
     const uint64_t hw = platform_->counter.Read();
-    if (counter_value < hw) {
+    if (state.counter < hw) {
       return Status::RollbackDetected(
-          "manifest counter " + std::to_string(counter_value) +
+          "manifest log counter " + std::to_string(state.counter) +
           " behind hardware counter " + std::to_string(hw));
     }
-    if (counter_value == hw + 1) {
-      // Crash window: the manifest landed but the power failed before the
-      // bump. The manifest is the newest sealed state (the host cannot
-      // forge a counter value inside the seal) — sync the hardware to it.
+    if (state.counter == hw + 1) {
+      // Crash window: the record landed but the power failed before the
+      // bump. The record is the newest sealed state (the host cannot forge
+      // a counter value inside the seal) — sync the hardware to it.
       platform_->counter.Increment();
-    } else if (counter_value > hw) {
-      return Status::Corruption("manifest counter ahead of hardware");
+    } else if (state.counter > hw) {
+      return Status::Corruption("manifest log counter ahead of hardware");
     }
   }
 
   Status s = engine_->RestoreManifest(engine_manifest);
   if (!s.ok()) return s;
-  last_ts_ = last_ts;
-  flushed_ts_ = flushed_ts;
-  s = ReplayWal(wal_count, wal_dig, /*check_digest=*/true, flushed_ts);
+  for (const std::string& edit : engine_edits) {
+    s = engine_->ApplyEdit(edit);
+    if (!s.ok()) return s;
+  }
+  manifest_seq_ = seq;
+  manifest_chain_ = chain;
+  snapshot_seq_ = snapshot_gen;
+  tail_records_ = tail_records;
+  tail_bytes_ = tail_bytes;
+  // RestoreManifest restarted the engine edit sequence at zero; everything
+  // on disk is covered by the records just replayed.
+  persisted_edit_seq_ = 0;
+  have_snapshot_ = true;
+  force_snapshot_ = dirty_tail;
+  edits_dir_synced_ = false;
+  last_ts_ = state.last_ts;
+  flushed_ts_ = state.flushed_ts;
+  s = ReplayWal(state.wal_count, state.wal_digest, /*check_digest=*/true,
+                state.flushed_ts);
   if (!s.ok()) return s;
   GcOrphanFiles();
   return Status::Ok();
@@ -195,9 +304,13 @@ void ElsmDb::GcOrphanFiles() {
     if (!level.tree_file.empty()) keep.insert(level.tree_file);
   }
   const std::string wal_name = options_.name + "/wal";
+  // Only the current generation's tail file is live; stale EDITS-* files
+  // (crash between a snapshot install and its tail truncation, or an
+  // unsynced-loss rollback resurrecting one) are orphans like any other.
+  const std::string live_edits = edits_name(snapshot_seq_);
   for (const std::string& name : fs_->List(options_.name + "/")) {
     if (name == manifest_name() || name == manifest_tmp_name() ||
-        name == wal_name || keep.count(name) > 0) {
+        name == wal_name || name == live_edits || keep.count(name) > 0) {
       continue;
     }
     (void)fs_->Delete(name);
@@ -244,36 +357,128 @@ Status ElsmDb::PersistManifest(const crypto::Hash256& wal_dig,
   const bool bump =
       options_.rollback_defense &&
       flush_count_ % std::max<uint32_t>(1, options_.counter_sync_period) == 0;
-  std::string payload;
-  PutFixed64(&payload, last_ts_);
-  PutFixed64(&payload, flushed_ts_);
-  payload.append(reinterpret_cast<const char*>(wal_dig.data()), 32);
-  PutFixed64(&payload, wal_count);
+
+  manifest::StoreState state;
+  state.last_ts = last_ts_;
+  state.flushed_ts = flushed_ts_;
+  state.wal_digest = wal_dig;
+  state.wal_count = wal_count;
   // Record the post-bump value; the bump itself happens only after the
-  // rename lands, so a crash can never leave the hardware counter ahead of
-  // every manifest on disk (which would brick the store as a false
-  // rollback). Recovery tolerates the inverse window (manifest one ahead).
-  PutFixed64(&payload, platform_->counter.Read() + (bump ? 1 : 0));
-  PutLengthPrefixed(&payload, engine_->EncodeManifest());
-  enclave_->ChargeHash(payload.size());
+  // record is durable, so a crash can never leave the hardware counter
+  // ahead of every record on disk (which would brick the store as a false
+  // rollback). Recovery tolerates the inverse window (record one ahead).
+  state.counter = platform_->counter.Read() + (bump ? 1 : 0);
+
+  uint64_t newest_edit_seq = 0;
+  std::vector<std::string> edits =
+      engine_->EditsSince(persisted_edit_seq_, &newest_edit_seq);
+
+  const bool snapshot =
+      !have_snapshot_ || force_snapshot_ ||
+      options_.manifest_snapshot_edits == 0 ||
+      tail_records_ >= options_.manifest_snapshot_edits ||
+      tail_bytes_ >= options_.manifest_snapshot_bytes;
+
+  manifest::RecordHeader header;
+  header.kind = snapshot ? manifest::kSnapshot : manifest::kDelta;
+  header.seq = manifest_seq_ + 1;
+  header.prev_chain = manifest_chain_;
+  std::string payload;
+  manifest::PutHeader(&payload, header);
+  manifest::PutStoreState(&payload, state);
+  if (snapshot) {
+    // The snapshot captures the whole stack and the engine edit sequence
+    // it covers atomically; edits through that sequence become redundant.
+    PutLengthPrefixed(&payload, engine_->EncodeManifest(&newest_edit_seq));
+  } else {
+    PutVarint32(&payload, static_cast<uint32_t>(edits.size()));
+    for (const std::string& edit : edits) PutLengthPrefixed(&payload, edit);
+  }
+  enclave_->ChargeHash(payload.size());  // seal MAC
+  enclave_->ChargeHash(payload.size());  // chain digest
   enclave_->ChargeOcall();
-  // Crash-consistent install (Fs::Sync contract): data fsync before the
-  // rename, directory fsync after it, counter bump only once the new
-  // manifest is fully durable — so the hardware counter can never get
-  // ahead of every manifest a crash could leave on disk.
-  Status s = fs_->Write(manifest_tmp_name(),
-                        sgx::Seal(platform_->sealing_key, payload));
-  if (!s.ok()) return s;
-  if (options_.sync_writes) {
-    s = fs_->Sync(manifest_tmp_name());
+  std::string sealed = sgx::Seal(platform_->sealing_key, payload);
+  const uint64_t sealed_bytes = sealed.size();
+
+  if (snapshot) {
+    // Crash-consistent install (Fs::Sync contract): data fsync before the
+    // rename, directory fsync after it, counter bump only once the new
+    // snapshot is fully durable.
+    Status s = fs_->Write(manifest_tmp_name(), std::move(sealed));
     if (!s.ok()) return s;
-  }
-  s = fs_->Rename(manifest_tmp_name(), manifest_name());
-  if (!s.ok()) return s;
-  if (options_.sync_writes) {
-    s = fs_->SyncDir();
+    if (options_.sync_writes) {
+      s = fs_->Sync(manifest_tmp_name());
+      if (!s.ok()) return s;
+    }
+    s = fs_->Rename(manifest_tmp_name(), manifest_name());
     if (!s.ok()) return s;
+    if (options_.sync_writes) {
+      s = fs_->SyncDir();
+      if (!s.ok()) return s;
+    }
+    // Tail truncation: the new snapshot supersedes every prior
+    // generation's tail, so delete them. Cleanup, not correctness — stale
+    // generations are ignored by name on recovery (an unsynced-loss crash
+    // may even resurrect one) and GC'd as orphans.
+    for (const std::string& name : fs_->List(edits_prefix())) {
+      if (name != edits_name(header.seq)) (void)fs_->Delete(name);
+    }
+    engine_->NoteManifestWrite(/*snapshot=*/true, sealed_bytes);
+    snapshot_seq_ = header.seq;
+    tail_records_ = 0;
+    tail_bytes_ = 0;
+    have_snapshot_ = true;
+    force_snapshot_ = false;
+    edits_dir_synced_ = false;
+  } else {
+    std::string frame;
+    manifest::AppendFrame(&frame, sealed);
+    const uint64_t frame_bytes = frame.size();
+    if (options_.sync_writes) {
+      // Namespace barrier *before* the record lands: the flush/compaction
+      // behind this persist fsynced its new SSTables' data, but their
+      // directory entries are not durable until SyncDir (fs.h contract).
+      // The snapshot path gets this for free from its post-rename SyncDir;
+      // an appended record would otherwise survive a crash that erases the
+      // very files it references.
+      Status sd = fs_->SyncDir();
+      if (!sd.ok()) return sd;
+    }
+    // Any failure from here on leaves the tail file in an unknown state (a
+    // partial frame may have landed); never append after possible garbage —
+    // the next persist must supersede the tail with a fresh-generation
+    // snapshot.
+    Status s = fs_->Append(edits_name(snapshot_seq_), frame);
+    if (!s.ok()) {
+      force_snapshot_ = true;
+      return s;
+    }
+    if (options_.sync_writes) {
+      s = fs_->Sync(edits_name(snapshot_seq_));
+      if (!s.ok()) {
+        force_snapshot_ = true;
+        return s;
+      }
+      if (!edits_dir_synced_) {
+        // One-time namespace barrier per tail generation: the freshly
+        // created file's directory entry is not durable until SyncDir
+        // (fs.h contract, same as the WAL's).
+        s = fs_->SyncDir();
+        if (!s.ok()) {
+          force_snapshot_ = true;
+          return s;
+        }
+        edits_dir_synced_ = true;
+      }
+    }
+    engine_->NoteManifestWrite(/*snapshot=*/false, frame_bytes);
+    ++tail_records_;
+    tail_bytes_ += frame_bytes;
   }
+  manifest_seq_ = header.seq;
+  manifest_chain_ = crypto::Sha256::Digest(payload);
+  persisted_edit_seq_ = newest_edit_seq;
+  engine_->TrimEditsThrough(newest_edit_seq);
   if (bump) {
     platform_->counter.Increment();
     enclave_->ChargeCounterBump();

@@ -140,13 +140,20 @@ class ElsmDb {
   // digest yet.
   Status ReplayWal(uint64_t wal_count, const crypto::Hash256& wal_dig,
                    bool check_digest, uint64_t flushed_ts);
-  // Seals and atomically installs the manifest (write tmp + rename), then
-  // bumps the monotonic counter. Recovery accepts a manifest exactly one
-  // ahead of the hardware counter — the crash window between the rename
-  // and the bump. The WAL coverage to record is passed explicitly so a
-  // flush can seal the post-truncation state (empty digest) *before*
-  // mutating the live wal_digest_ — a transiently failed persist must
-  // leave the in-memory digest matching the untouched WAL.
+  // Seals one record of the manifest log and makes it durable, then bumps
+  // the monotonic counter. Most persists append an O(changed levels) delta
+  // record to the tail log (fsync-per-append under sync_writes); every
+  // manifest_snapshot_edits records / manifest_snapshot_bytes tail bytes —
+  // or whenever the tail may hold garbage (force_snapshot_) — a full
+  // snapshot is installed instead (write tmp + Sync + Rename + SyncDir)
+  // and the tail truncated by starting a new generation. The counter bump
+  // always comes after the record is durable, so recovery accepts the
+  // newest sealed record being exactly one ahead of the hardware counter —
+  // the crash window between the append/rename and the bump. The WAL
+  // coverage to record is passed explicitly so a flush can seal the
+  // post-truncation state (empty digest) *before* mutating the live
+  // wal_digest_ — a transiently failed persist must leave the in-memory
+  // digest matching the untouched WAL.
   Status PersistManifest(const crypto::Hash256& wal_dig, uint64_t wal_count);
   Status PersistManifest() {
     return PersistManifest(wal_digest_.digest(), wal_digest_.count());
@@ -167,6 +174,10 @@ class ElsmDb {
   std::string manifest_tmp_name() const {
     return options_.name + "/MANIFEST.tmp";
   }
+  // Tail-log file of generation `gen` (the seq of the snapshot that opened
+  // it); stale generations are ignored by name and garbage-collected.
+  std::string edits_name(uint64_t gen) const;
+  std::string edits_prefix() const { return options_.name + "/EDITS-"; }
 
   std::string TransformKey(std::string_view key) const;
   std::string TransformValue(std::string_view value, uint64_t ts) const;
@@ -194,6 +205,29 @@ class ElsmDb {
   // Serializes flushers so the engine-thread drain happens outside db_mu_.
   std::mutex flush_mu_;
   mutable std::mutex stats_mu_;
+
+  // --- manifest-log position (mutated under the exclusive db_mu_ section
+  // of every persist) -------------------------------------------------------
+  // Sequence and payload hash of the newest sealed record, chained into the
+  // next one; the generation (seq) of the current snapshot, which names the
+  // tail file; tail cadence counters; and the engine edit sequence already
+  // covered by sealed records.
+  uint64_t manifest_seq_ = 0;
+  crypto::Hash256 manifest_chain_ = crypto::kZeroHash;
+  uint64_t snapshot_seq_ = 0;
+  uint64_t tail_records_ = 0;
+  uint64_t tail_bytes_ = 0;
+  uint64_t persisted_edit_seq_ = 0;
+  // The store's first persist must be a snapshot (the tail has no base
+  // until one exists).
+  bool have_snapshot_ = false;
+  // Set when the tail file may end in garbage (a failed/torn append): the
+  // next persist must supersede it with a fresh-generation snapshot
+  // instead of appending after the damage.
+  bool force_snapshot_ = false;
+  // The current tail file's directory entry is known durable (fs.h: a
+  // freshly created file needs one SyncDir). Reset per generation.
+  bool edits_dir_synced_ = false;
 
   uint64_t last_ts_ = 0;
   // Highest timestamp known to be in the level stack (set when a flush

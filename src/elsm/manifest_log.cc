@@ -1,0 +1,78 @@
+#include "elsm/manifest_log.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace elsm::manifest {
+
+void PutHeader(std::string* dst, const RecordHeader& header) {
+  PutFixed64(dst, kMagic);
+  dst->push_back(static_cast<char>(header.kind));
+  PutFixed64(dst, header.seq);
+  dst->append(reinterpret_cast<const char*>(header.prev_chain.data()), 32);
+}
+
+bool GetHeader(std::string_view* input, RecordHeader* header) {
+  uint64_t magic = 0;
+  if (!GetFixed64(input, &magic) || magic != kMagic) return false;
+  if (input->empty()) return false;
+  const uint8_t kind = static_cast<uint8_t>(input->front());
+  input->remove_prefix(1);
+  if (kind != kSnapshot && kind != kDelta) return false;
+  header->kind = static_cast<RecordKind>(kind);
+  if (!GetFixed64(input, &header->seq)) return false;
+  if (input->size() < 32) return false;
+  std::memcpy(header->prev_chain.data(), input->data(), 32);
+  input->remove_prefix(32);
+  return true;
+}
+
+void PutStoreState(std::string* dst, const StoreState& state) {
+  PutFixed64(dst, state.last_ts);
+  PutFixed64(dst, state.flushed_ts);
+  dst->append(reinterpret_cast<const char*>(state.wal_digest.data()), 32);
+  PutFixed64(dst, state.wal_count);
+  PutFixed64(dst, state.counter);
+}
+
+bool GetStoreState(std::string_view* input, StoreState* state) {
+  if (!GetFixed64(input, &state->last_ts) ||
+      !GetFixed64(input, &state->flushed_ts)) {
+    return false;
+  }
+  if (input->size() < 32) return false;
+  std::memcpy(state->wal_digest.data(), input->data(), 32);
+  input->remove_prefix(32);
+  return GetFixed64(input, &state->wal_count) &&
+         GetFixed64(input, &state->counter);
+}
+
+void AppendFrame(std::string* dst, std::string_view sealed) {
+  PutFixed32(dst, static_cast<uint32_t>(sealed.size()));
+  dst->append(sealed);
+}
+
+std::vector<std::string_view> SplitFrames(std::string_view raw, bool* torn) {
+  *torn = false;
+  std::vector<std::string_view> frames;
+  while (!raw.empty()) {
+    std::string_view cursor = raw;
+    uint32_t len = 0;
+    if (!GetFixed32(&cursor, &len) || cursor.size() < len) {
+      // Trailing partial frame: a torn final append. Everything before it
+      // is intact (each acknowledged append was synced before the next).
+      *torn = true;
+      break;
+    }
+    frames.push_back(cursor.substr(0, len));
+    raw = cursor.substr(len);
+  }
+  return frames;
+}
+
+std::string TailName(const std::string& prefix, uint64_t gen) {
+  return prefix + "-" + std::to_string(gen);
+}
+
+}  // namespace elsm::manifest

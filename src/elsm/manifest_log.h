@@ -1,0 +1,86 @@
+// Sealed manifest-log primitives shared by ElsmDb (per-store manifest) and
+// ShardedDb (super-manifest).
+//
+// Both logs follow the same shape: one sealed *snapshot* file holding the
+// full state (installed with the crash-consistent tmp+Sync+Rename+SyncDir
+// sequence), plus an append-only *tail* file of sealed delta records
+// (fsync-per-append under sync_writes). Every record — snapshot or delta —
+// carries a monotone sequence number and the SHA-256 of the previous
+// record's plaintext payload, forming one hash chain that runs through
+// snapshots, so records cannot be reordered, spliced across generations,
+// or replayed from a different position without breaking either the seal
+// (AuthFailure) or the chain (AuthFailure) or the counter floor
+// (RollbackDetected).
+//
+// Tail framing: each append is one frame, Fixed32 length + sealed record.
+// A crash can tear the *final* frame only (appends are synced before the
+// counter bump acknowledges them); recovery drops a trailing partial frame
+// silently — its bump never happened, so the surviving prefix is exactly
+// the acknowledged state. A *complete* frame that fails to unseal can never
+// be crash debris (a torn append is by definition shorter than its own
+// length header claims), so it is adjudicated as tampering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace elsm::manifest {
+
+// Domain tag leading every record payload ("ELSMLOG1"), so a manifest
+// record can never parse as some other sealed blob and vice versa.
+inline constexpr uint64_t kMagic = 0x31474f4c4d534c45ull;
+
+enum RecordKind : uint8_t {
+  kSnapshot = 1,  // full state; the authoritative file after install
+  kDelta = 2,     // incremental record appended to the tail log
+};
+
+// Common prefix of every record payload: magic | kind | seq | prev_chain.
+// `seq` increases by exactly 1 per record across the snapshot/tail
+// boundary; `prev_chain` is SHA-256 of the previous record's plaintext
+// payload (kZeroHash for the first record of a store's history).
+struct RecordHeader {
+  RecordKind kind = kSnapshot;
+  uint64_t seq = 0;
+  crypto::Hash256 prev_chain = crypto::kZeroHash;
+};
+
+void PutHeader(std::string* dst, const RecordHeader& header);
+// False on malformed input or magic mismatch (corrupt/foreign blob).
+bool GetHeader(std::string_view* input, RecordHeader* header);
+
+// Facade store-state block, present in every ElsmDb manifest record right
+// after the header: the fields recovery needs even when no structural
+// (level-stack) change rode along.
+struct StoreState {
+  uint64_t last_ts = 0;
+  uint64_t flushed_ts = 0;
+  crypto::Hash256 wal_digest = crypto::kZeroHash;
+  uint64_t wal_count = 0;
+  // The post-bump counter value this record acknowledges. The hardware
+  // bump happens only after the record is durable, so recovery tolerates
+  // the newest record being exactly one ahead of the hardware counter.
+  uint64_t counter = 0;
+};
+
+void PutStoreState(std::string* dst, const StoreState& state);
+bool GetStoreState(std::string_view* input, StoreState* state);
+
+// One tail frame: Fixed32 length + sealed record bytes.
+void AppendFrame(std::string* dst, std::string_view sealed);
+// Splits a tail file into complete sealed frames. A trailing partial frame
+// (torn append) is dropped and *torn set — the caller must treat the tail
+// file as dirty and supersede it with a fresh-generation snapshot rather
+// than append after the garbage.
+std::vector<std::string_view> SplitFrames(std::string_view raw, bool* torn);
+
+// Tail-file naming: "<prefix>-<gen>", where gen is the sequence number of
+// the snapshot that opened the generation. Stale generations are ignored
+// by name and garbage-collected.
+std::string TailName(const std::string& prefix, uint64_t gen);
+
+}  // namespace elsm::manifest

@@ -74,6 +74,16 @@ struct Options {
   // disable it to keep the measured path free of manifest-sealing costs;
   // Close() always persists.
   bool persist_manifest_on_flush = true;
+  // Manifest-log snapshot cadence: a full sealed snapshot replaces the
+  // append-only delta tail after this many delta records, or once the tail
+  // exceeds manifest_snapshot_bytes, whichever first. Between snapshots
+  // every persist appends one O(changed levels) sealed record, keeping
+  // manifest maintenance O(1) in resident file count. 0 delta records
+  // means snapshot-on-every-persist — the legacy full-rewrite behavior the
+  // fig_manifest_scaling bench uses as its O(files) baseline. ShardedDb
+  // applies the same cadence to its super-manifest log.
+  uint32_t manifest_snapshot_edits = 32;
+  uint64_t manifest_snapshot_bytes = 4 << 20;
 
   // --- cross-shard fan-out (ShardedDb only; ElsmDb ignores these) ----------
   // Worker threads for parallel cross-shard Scan/MultiGet/Write fan-out.

@@ -23,9 +23,9 @@
 // status). A failure on any shard fails the whole operation — no partial
 // results ever escape.
 //
-// Cross-shard trust (the "super-manifest"): a sealed file binding
+// Cross-shard trust (the "super-manifest"): a sealed log binding
 //   shard count | meta monotonic counter |
-//   per-shard (manifest digest, manifest last_ts floor)
+//   per-shard (manifest-log digest, manifest last_ts floor)
 // so a malicious host cannot silently drop a whole shard (digest recorded
 // but manifest gone -> AuthFailure), swap or replay shard manifests (each
 // shard's manifest is sealed under a per-shard derived key ->
@@ -36,6 +36,14 @@
 // Flush/CompactAll and Close — auto-flushes persist shard manifests in
 // between), so a digest mismatch is resolved through the monotone
 // last_ts floor — moved forward is benign, behind the floor is an attack.
+//
+// The super-manifest uses the same delta-log layout as the per-shard
+// manifests (src/elsm/manifest_log.h): a sealed SUPER snapshot holding the
+// full digest table plus a hash-chained SUPER-EDITS-<gen> tail whose delta
+// records carry only the shards whose state changed — O(changed shards)
+// per refresh instead of rewriting O(shards) state — with a full snapshot
+// every Options::manifest_snapshot_edits records. Refreshes that change
+// nothing are skipped entirely (no record, no counter bump).
 //
 // Not provided: cross-shard atomicity. A WriteBatch spanning shards is
 // applied per shard (each sub-batch atomically); timestamps are per-shard.
@@ -177,11 +185,13 @@ class ShardedDb {
   // *found=false when no super-manifest exists (fresh store candidate).
   Status VerifySuperManifest(bool* found);
   Status PersistSuperManifest();
-  // Digest + last_ts of shard's on-disk manifest (zero/0 when absent). The
-  // pair snapshots the same sealed blob: the digest pins exact content, the
-  // last_ts is the monotone floor that lets verification tell a shard that
-  // *advanced* past the recorded digest (benign: auto-flushes persist shard
-  // manifests between super refreshes) from one rolled *behind* it.
+  // Digest + last_ts of shard's on-disk manifest log (zero/0 when absent).
+  // The digest covers the sealed snapshot file plus its live tail file, so
+  // it pins the shard's exact authoritative bytes; the last_ts (taken from
+  // the newest sealed record) is the monotone floor that lets verification
+  // tell a shard that *advanced* past the recorded digest (benign:
+  // auto-flushes persist shard manifest records between super refreshes)
+  // from one rolled *behind* it.
   Status ShardManifestState(uint32_t shard, crypto::Hash256* digest,
                             uint64_t* last_ts) const;
   std::string shard_manifest_name(uint32_t shard) const {
@@ -189,6 +199,10 @@ class ShardedDb {
   }
   std::string super_name() const { return options_.name + "/SUPER"; }
   std::string super_tmp_name() const { return options_.name + "/SUPER.tmp"; }
+  std::string super_edits_name(uint64_t gen) const;
+  std::string super_edits_prefix() const {
+    return options_.name + "/SUPER-EDITS-";
+  }
 
   Options options_;
   uint32_t num_shards_;
@@ -201,6 +215,25 @@ class ShardedDb {
   // Serializes super-manifest writers (Flush/CompactAll/Close); routed
   // point ops never take it.
   std::mutex super_mu_;
+
+  // --- super-manifest log position (mutated under super_mu_ / open) --------
+  // Mirrors ElsmDb's manifest-log state: seq + payload hash of the newest
+  // sealed record, the generation of the current SUPER snapshot (names the
+  // SUPER-EDITS tail), tail cadence counters, and dirty-tail/first-persist
+  // flags. recorded_* cache the per-shard (digest, last_ts floor) table the
+  // durable log currently encodes, so a refresh appends only the shards
+  // that changed — and is skipped entirely when none did.
+  uint64_t super_seq_ = 0;
+  crypto::Hash256 super_chain_ = crypto::kZeroHash;
+  uint64_t super_snapshot_seq_ = 0;
+  uint64_t super_tail_records_ = 0;
+  uint64_t super_tail_bytes_ = 0;
+  bool have_super_ = false;
+  bool force_super_snapshot_ = false;
+  bool super_edits_dir_synced_ = false;
+  std::vector<crypto::Hash256> recorded_digests_;
+  std::vector<uint64_t> recorded_last_ts_;
+
   bool closed_ = false;
 };
 

@@ -859,6 +859,7 @@ Status LsmEngine::CompactStep(std::vector<MergeSource> sources,
     retire(levels[static_cast<size_t>(depth)]);
     new_levels[static_cast<size_t>(depth)] = LevelMeta();  // now empty
   }
+  const size_t output_pos = insert_as_new ? 0 : target_pos;
   if (insert_as_new) {
     new_levels.insert(new_levels.begin(), std::move(build.level));
   } else if (target_exists) {
@@ -867,7 +868,27 @@ Status LsmEngine::CompactStep(std::vector<MergeSource> sources,
     new_levels.insert(new_levels.begin() + target_pos, std::move(build.level));
   }
   RefreshMetadataFootprint(new_levels);
-  InstallVersion(std::move(new_levels), reset_memtable, obsolete);
+  // Mirror the mutation above as a VersionEdit: the cleared upper slots at
+  // their original indices first, then the output level (the clears all sit
+  // above output_pos, so the insert never shifts them). Replaying these ops
+  // over the previous stack reproduces new_levels exactly.
+  VersionEdit edit;
+  edit.next_file_no = next_file_no_.load(std::memory_order_relaxed);
+  for (int depth : upper_depths) {
+    VersionEdit::LevelOp clear;
+    clear.kind = VersionEdit::OpKind::kSet;
+    clear.pos = static_cast<uint32_t>(depth);
+    edit.ops.push_back(std::move(clear));
+  }
+  VersionEdit::LevelOp out_op;
+  out_op.kind = (insert_as_new || !target_exists)
+                    ? VersionEdit::OpKind::kInsert
+                    : VersionEdit::OpKind::kSet;
+  out_op.pos = static_cast<uint32_t>(output_pos);
+  out_op.level = new_levels[output_pos];
+  edit.ops.push_back(std::move(out_op));
+  InstallVersion(std::move(new_levels), reset_memtable, obsolete,
+                 edit.Encode());
   return Status::Ok();
 }
 
@@ -939,7 +960,8 @@ void LsmEngine::AbortLevel(LevelBuild* build) {
 
 void LsmEngine::InstallVersion(std::vector<LevelMeta> levels,
                                bool reset_memtable,
-                               const std::vector<std::string>& obsolete_files) {
+                               const std::vector<std::string>& obsolete_files,
+                               std::string encoded_edit) {
   auto next = std::make_shared<Version>(std::move(levels), tracker_);
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
@@ -947,6 +969,9 @@ void LsmEngine::InstallVersion(std::vector<LevelMeta> levels,
     if (reset_memtable) {
       memtable_ = std::make_unique<SkipList>();
       memtable_used_ = 0;
+    }
+    if (!encoded_edit.empty()) {
+      edit_log_.emplace_back(++edit_seq_, std::move(encoded_edit));
     }
   }
   for (const std::string& name : obsolete_files) tracker_->MarkObsolete(name);
@@ -1056,8 +1081,17 @@ void LsmEngine::BackgroundLoop() {
 // Manifest & recovery.
 // ---------------------------------------------------------------------------
 
-std::string LsmEngine::EncodeManifest() const {
-  auto snapshot = SnapshotVersion();
+std::string LsmEngine::EncodeManifest(uint64_t* covered_edit_seq) const {
+  std::shared_ptr<const Version> snapshot;
+  {
+    // Capture the stack and the edit sequence under one lock: the snapshot
+    // covers exactly the edits logged so far, so trimming through the
+    // returned sequence after the snapshot persists never drops an edit the
+    // snapshot missed.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    snapshot = version_;
+    if (covered_edit_seq != nullptr) *covered_edit_seq = edit_seq_;
+  }
   std::string out;
   PutVarint64(&out, next_file_no_.load(std::memory_order_relaxed));
   out += EncodeLevels(snapshot->levels());
@@ -1080,12 +1114,63 @@ Status LsmEngine::RestoreManifest(std::string_view manifest) {
     version_ = std::move(next);
     memtable_ = std::make_unique<SkipList>();
     memtable_used_ = 0;
+    edit_seq_ = 0;
+    edit_log_.clear();
   }
   {
     std::lock_guard<std::mutex> lock(mmaps_mu_);
     mmaps_.clear();
   }
   return Status::Ok();
+}
+
+std::vector<std::string> LsmEngine::EditsSince(uint64_t since,
+                                               uint64_t* newest_seq) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  *newest_seq = edit_seq_;
+  std::vector<std::string> out;
+  for (const auto& [seq, encoded] : edit_log_) {
+    if (seq > since) out.push_back(encoded);
+  }
+  return out;
+}
+
+void LsmEngine::TrimEditsThrough(uint64_t seq) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  size_t keep = 0;
+  while (keep < edit_log_.size() && edit_log_[keep].first <= seq) ++keep;
+  edit_log_.erase(edit_log_.begin(), edit_log_.begin() + keep);
+}
+
+Status LsmEngine::ApplyEdit(std::string_view encoded) {
+  std::lock_guard<std::mutex> cl(compaction_mu_);
+  auto edit = VersionEdit::Decode(encoded);
+  if (!edit.ok()) return edit.status();
+  std::vector<LevelMeta> levels = SnapshotVersion()->levels();
+  Status s = edit.value().ApplyTo(&levels);
+  if (!s.ok()) return s;
+  RefreshMetadataFootprint(levels);
+  // File numbers only grow across edits; keep the high water monotone even
+  // if a replayed record carries a stale snapshot of the atomic.
+  uint64_t prev_no = next_file_no_.load(std::memory_order_relaxed);
+  if (edit.value().next_file_no > prev_no) {
+    next_file_no_.store(edit.value().next_file_no, std::memory_order_relaxed);
+  }
+  auto next = std::make_shared<Version>(std::move(levels), tracker_);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    version_ = std::move(next);
+  }
+  return Status::Ok();
+}
+
+void LsmEngine::NoteManifestWrite(bool snapshot, uint64_t bytes) {
+  if (snapshot) {
+    stats_.manifest_snapshots_written.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.manifest_edits_appended.fetch_add(1, std::memory_order_relaxed);
+  }
+  stats_.manifest_bytes_written.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 Result<storage::WalContents> LsmEngine::ReadWalRecords() const {

@@ -224,6 +224,14 @@ struct EngineStats {
   // (group buffer + parsed blocks; O(blocks in flight) when streaming,
   // O(level) on the buffered legacy path).
   std::atomic<uint64_t> compaction_peak_resident_bytes = 0;
+  // Manifest-maintenance telemetry, bumped by the owning facade through
+  // NoteManifestWrite: delta records appended to the tail log, full
+  // snapshots installed, and total sealed manifest bytes written. With the
+  // edit log, bytes-per-mutation stays O(1) in resident file count — see
+  // bench/fig_manifest_scaling.cc.
+  std::atomic<uint64_t> manifest_edits_appended = 0;
+  std::atomic<uint64_t> manifest_snapshots_written = 0;
+  std::atomic<uint64_t> manifest_bytes_written = 0;
 };
 
 class LsmEngine {
@@ -288,8 +296,27 @@ class LsmEngine {
   sgx::Enclave& enclave() { return *enclave_; }
 
   // --- manifest & recovery (driven by the elsm facade) ---------------------
-  std::string EncodeManifest() const;
+  // Full level-stack snapshot. When `covered_edit_seq` is non-null it
+  // receives the edit sequence number the snapshot covers, captured
+  // atomically with the stack — pass it to TrimEditsThrough once the
+  // snapshot is durable.
+  std::string EncodeManifest(uint64_t* covered_edit_seq = nullptr) const;
   Status RestoreManifest(std::string_view manifest);
+  // Every structural change (flush / compaction step) appends an encoded
+  // VersionEdit to an in-memory log with a monotone sequence number; the
+  // facade drains it into sealed delta records. EditsSince returns the
+  // encoded edits with seq > `since` plus the newest sequence (atomically
+  // with the copy); TrimEditsThrough drops entries the facade has made
+  // durable. RestoreManifest resets the log (sequence restarts at 0).
+  std::vector<std::string> EditsSince(uint64_t since,
+                                      uint64_t* newest_seq) const;
+  void TrimEditsThrough(uint64_t seq);
+  // Recovery replay: applies one encoded VersionEdit from a sealed delta
+  // record on top of the restored stack. Does not re-log the edit.
+  Status ApplyEdit(std::string_view encoded);
+  // Manifest-maintenance telemetry (see EngineStats): the facade reports
+  // each sealed manifest write here.
+  void NoteManifestWrite(bool snapshot, uint64_t bytes);
   Result<storage::WalContents> ReadWalRecords() const;
   // Reinserts a WAL record into the memtable without re-appending it.
   Status ReinsertFromWal(Record record);
@@ -366,8 +393,12 @@ class LsmEngine {
   Status FinishOutputFile(LevelBuild* build);
   Status FinalizeLevel(LevelBuild* build, const CompactionSeal& seal);
   void AbortLevel(LevelBuild* build);
+  // `encoded_edit` (when non-empty) is logged under the same exclusive
+  // section as the version swap, so the edit sequence observes installs in
+  // publication order.
   void InstallVersion(std::vector<LevelMeta> levels, bool reset_memtable,
-                      const std::vector<std::string>& obsolete_files);
+                      const std::vector<std::string>& obsolete_files,
+                      std::string encoded_edit = std::string());
   void PurgeDeadCaches();
   void UpdatePeakResident(uint64_t resident_bytes);
   void BackgroundLoop();
@@ -390,6 +421,11 @@ class LsmEngine {
   std::shared_ptr<FileTracker> tracker_;
   std::shared_ptr<const Version> version_;
   std::atomic<uint64_t> next_file_no_ = 1;
+  // In-memory VersionEdit log (guarded by mu_): (seq, encoded edit) pairs
+  // not yet persisted by the facade. Bounded by the facade's trim after
+  // every sealed record; RestoreManifest clears it.
+  uint64_t edit_seq_ = 0;
+  std::vector<std::pair<uint64_t, std::string>> edit_log_;
 
   storage::WalWriter wal_;
   // The current WAL generation's directory entry is known durable (a

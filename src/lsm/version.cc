@@ -205,4 +205,69 @@ Result<std::vector<LevelMeta>> DecodeLevels(std::string_view input) {
   return levels;
 }
 
+std::string VersionEdit::Encode() const {
+  std::string out;
+  PutVarint64(&out, next_file_no);
+  PutVarint32(&out, static_cast<uint32_t>(ops.size()));
+  for (const LevelOp& op : ops) {
+    out.push_back(static_cast<char>(op.kind));
+    PutVarint32(&out, op.pos);
+    PutLengthPrefixed(&out, op.level.Encode());
+  }
+  return out;
+}
+
+Result<VersionEdit> VersionEdit::Decode(std::string_view input) {
+  VersionEdit edit;
+  uint32_t count = 0;
+  if (!GetVarint64(&input, &edit.next_file_no) ||
+      !GetVarint32(&input, &count)) {
+    return Status::Corruption("bad version-edit encoding");
+  }
+  edit.ops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    LevelOp op;
+    if (input.empty()) return Status::Corruption("bad version-edit encoding");
+    const uint8_t kind = static_cast<uint8_t>(input.front());
+    input.remove_prefix(1);
+    if (kind != static_cast<uint8_t>(OpKind::kSet) &&
+        kind != static_cast<uint8_t>(OpKind::kInsert)) {
+      return Status::Corruption("bad version-edit op kind");
+    }
+    op.kind = static_cast<OpKind>(kind);
+    std::string_view payload;
+    if (!GetVarint32(&input, &op.pos) ||
+        !GetLengthPrefixed(&input, &payload)) {
+      return Status::Corruption("bad version-edit encoding");
+    }
+    auto level = LevelMeta::Decode(&payload);
+    if (!level.ok()) return level.status();
+    op.level = std::move(level).value();
+    edit.ops.push_back(std::move(op));
+  }
+  if (!input.empty()) return Status::Corruption("bad version-edit encoding");
+  return edit;
+}
+
+Status VersionEdit::ApplyTo(std::vector<LevelMeta>* levels) const {
+  for (const LevelOp& op : ops) {
+    if (op.kind == OpKind::kSet) {
+      if (op.pos >= levels->size()) {
+        return Status::Corruption("version-edit sets a level slot " +
+                                  std::to_string(op.pos) +
+                                  " beyond the stack");
+      }
+      (*levels)[op.pos] = op.level;
+    } else {
+      if (op.pos > levels->size()) {
+        return Status::Corruption("version-edit inserts a level slot " +
+                                  std::to_string(op.pos) +
+                                  " beyond the stack");
+      }
+      levels->insert(levels->begin() + op.pos, op.level);
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace elsm::lsm

@@ -73,6 +73,34 @@ struct LevelMeta {
 std::string EncodeLevels(const std::vector<LevelMeta>& levels);
 Result<std::vector<LevelMeta>> DecodeLevels(std::string_view input);
 
+// The delta one structural change (a flush or one compaction step) applies
+// to the level stack: an ordered sequence of level-slot operations plus the
+// file-number high-water mark. The ops mirror the install sequence of
+// LsmEngine::CompactStep — clear the merged-away upper levels in place,
+// then set or insert the freshly built level — so replaying them over the
+// previous stack reproduces the new one exactly (same files, blooms and
+// auth seals). O(touched levels) to encode, vs O(all files) for a full
+// EncodeLevels snapshot: this is what makes the facade's manifest log
+// constant-cost per mutation.
+struct VersionEdit {
+  enum class OpKind : uint8_t { kSet = 0, kInsert = 1 };
+  struct LevelOp {
+    OpKind kind = OpKind::kSet;
+    uint32_t pos = 0;
+    LevelMeta level;
+  };
+
+  uint64_t next_file_no = 0;
+  std::vector<LevelOp> ops;
+
+  std::string Encode() const;
+  static Result<VersionEdit> Decode(std::string_view input);
+  // Replays the edit over `levels` in place. Fails (without a partial
+  // mutation having semantic meaning) when an op addresses a slot the
+  // stack does not have — a record replayed against the wrong base.
+  Status ApplyTo(std::vector<LevelMeta>* levels) const;
+};
+
 // Thread-safe refcount of the on-disk files live Versions pin. A file is
 // physically deleted once it is both obsolete (dropped from the current
 // version by a compaction) and unreferenced (the last snapshot that could

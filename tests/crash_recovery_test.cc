@@ -36,6 +36,10 @@ Options CrashOptions() {
   o.level_ratio = 4;
   o.block_bytes = 1024;
   o.file_bytes = 4 << 10;
+  // Snapshot the manifest log every 3 delta records so the random torture
+  // crosses append -> snapshot-install -> stale-tail-truncation boundaries
+  // many times per seed instead of staying inside one delta generation.
+  o.manifest_snapshot_edits = 3;
   return o;
 }
 
@@ -450,6 +454,195 @@ TEST(CrashRecoveryTest, ParallelPutBatchCrashRecoversToConsistentShadowState) {
       EXPECT_EQ(*v, "post-crash");
     }
     ASSERT_TRUE(db.value()->Close().ok());
+  }
+}
+
+// Deterministic crash-point walk over the manifest-log maintenance path.
+// With a 2-edit snapshot cadence every other flush upgrades its persist
+// from delta append to snapshot install, so sweeping the crash one
+// mutating fs-op at a time marches through every ordering window the
+// incremental log added: the pre-append namespace SyncDir, the record
+// append and its fsync, the tmp-write/Sync/Rename/SyncDir install, and
+// the stale-tail deletion after it. Each crash image must reopen as a
+// benign crash with all acknowledged keys intact.
+void RunManifestMaintenanceWalk(const std::string& backend,
+                                bool unsynced_loss) {
+  for (uint64_t k = 1; k <= 36; ++k) {
+    SCOPED_TRACE("crash at mutating op " + std::to_string(k));
+    auto enclave = std::make_shared<sgx::Enclave>(sgx::CostModel{}, true);
+    test_util::TempDir dir;
+    std::shared_ptr<storage::Fs> base;
+    if (backend == "posix") {
+      ASSERT_TRUE(dir.ok());
+      base = std::make_shared<storage::PosixFs>(enclave, dir.path());
+    } else {
+      base = std::make_shared<storage::SimFs>(enclave);
+    }
+    auto fs = std::make_shared<storage::FaultFs>(base);
+    if (unsynced_loss) fs->EnableUnsyncedLoss();
+    auto platform = std::make_shared<TrustedPlatform>();
+    Options o = CrashOptions();
+    o.manifest_snapshot_edits = 2;
+
+    std::map<std::string, std::string> shadow;
+    std::string in_flight_key;
+    bool crashed = false;
+    {
+      auto db = ElsmDb::Open(o, fs, platform);
+      ASSERT_TRUE(db.ok()) << db.status().ToString();
+      // Clean warm-up so the armed window starts inside an existing log
+      // generation rather than at first-ever-manifest special cases.
+      for (int i = 0; i < 20; ++i) {
+        const std::string key = Key(i);
+        ASSERT_TRUE(db.value()->Put(key, "warm").ok());
+        shadow[key] = "warm";
+      }
+      ASSERT_TRUE(db.value()->Flush().ok());
+      fs->ScheduleCrash(k, /*keep_fraction=*/0.5);
+      for (uint64_t op = 0; op < 400 && !crashed; ++op) {
+        const std::string key = Key(op % 50);
+        const std::string value = "walk" + std::to_string(op);
+        Status s = db.value()->Put(key, value);
+        if (!s.ok()) {
+          EXPECT_TRUE(fs->crashed()) << "non-crash failure: " << s.ToString();
+          in_flight_key = key;  // indeterminate: old or attempted value
+          crashed = true;
+          break;
+        }
+        shadow[key] = value;
+        if (op % 6 == 5) {
+          s = db.value()->Flush();
+          if (!s.ok()) {
+            EXPECT_TRUE(fs->crashed())
+                << "non-crash failure: " << s.ToString();
+            crashed = true;  // acknowledged ops stay durable-or-replayable
+          }
+        }
+      }
+      ASSERT_TRUE(crashed) << "crash fuse " << k << " never fired";
+      // Power loss: drop without Close().
+    }
+
+    fs->ClearCrash();
+    auto db = ElsmDb::Open(o, fs, platform);
+    ASSERT_TRUE(db.ok()) << "manifest-maintenance crash at op " << k
+                         << " read as attack: " << db.status().ToString();
+    for (const auto& [key, value] : shadow) {
+      auto got = db.value()->GetVerified(key);
+      ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
+      if (key == in_flight_key) continue;
+      ASSERT_TRUE(got.value().record.has_value()) << key;
+      EXPECT_EQ(got.value().record->value, value) << key;
+    }
+    // The recovered log must keep extending: write across another
+    // snapshot boundary, then reopen once more.
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(db.value()->Put("post-crash", "alive").ok());
+      ASSERT_TRUE(db.value()->Flush().ok());
+    }
+    ASSERT_TRUE(db.value()->Close().ok());
+    auto again = ElsmDb::Open(o, fs, platform);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    auto got = again.value()->Get("post-crash");
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got.value().has_value());
+    EXPECT_EQ(*got.value(), "alive");
+  }
+}
+
+TEST(CrashRecoveryTest, ManifestMaintenanceCrashWalk) {
+  RunManifestMaintenanceWalk("sim", /*unsynced_loss=*/false);
+}
+
+TEST(CrashRecoveryTest, ManifestMaintenanceCrashWalkWithUnsyncedLoss) {
+  RunManifestMaintenanceWalk("sim", /*unsynced_loss=*/true);
+}
+
+TEST(CrashRecoveryTest, ManifestMaintenanceCrashWalkOnPosixBackend) {
+  RunManifestMaintenanceWalk("posix", /*unsynced_loss=*/false);
+}
+
+TEST(CrashRecoveryTest, ManifestMaintenanceCrashWalkOnPosixWithUnsyncedLoss) {
+  RunManifestMaintenanceWalk("posix", /*unsynced_loss=*/true);
+}
+
+TEST(CrashRecoveryTest, SuperManifestCrashWalkRecoversBenignly) {
+  // Crash-point walk isolated to the super-manifest's own disk: shards
+  // live on healthy SimFs instances while meta_fs gets the FaultFs, so
+  // every crash in the sweep lands inside PersistSuperManifest — the
+  // delta append/fsync, the snapshot's tmp-write/Sync/Rename/SyncDir, or
+  // the stale super-tail deletion. Data is acknowledged on shard disks
+  // throughout; reopen must never read the lagging/torn super log as an
+  // attack and must serve every acknowledged key.
+  constexpr uint32_t kShards = 2;
+  for (int unsynced = 0; unsynced < 2; ++unsynced) {
+    for (uint64_t k = 1; k <= 14; ++k) {
+      SCOPED_TRACE("unsynced_loss=" + std::to_string(unsynced) +
+                   " crash at meta op " + std::to_string(k));
+      auto enclave = std::make_shared<sgx::Enclave>(sgx::CostModel{}, true);
+      auto env = std::make_shared<ShardEnv>();
+      auto meta_fault = std::make_shared<storage::FaultFs>(
+          std::make_shared<storage::SimFs>(enclave));
+      if (unsynced) meta_fault->EnableUnsyncedLoss();
+      env->meta_fs = meta_fault;
+
+      Options o = CrashOptions();
+      o.manifest_snapshot_edits = 2;
+
+      std::map<std::string, std::string> shadow;
+      bool crashed = false;
+      {
+        auto db = ShardedDb::Open(o, kShards, env);
+        ASSERT_TRUE(db.ok()) << db.status().ToString();
+        for (int i = 0; i < 40; ++i) {
+          const std::string key = Key(i);
+          ASSERT_TRUE(db.value()->Put(key, "warm").ok());
+          shadow[key] = "warm";
+        }
+        ASSERT_TRUE(db.value()->Flush().ok());
+        meta_fault->ScheduleCrash(k, /*keep_fraction=*/0.5);
+        for (int round = 0; round < 12 && !crashed; ++round) {
+          for (int i = 0; i < 10; ++i) {
+            // Puts touch only shard disks; they must keep succeeding.
+            const std::string key = Key(100 + (round * 10 + i) % 60);
+            const std::string value = "super" + std::to_string(round);
+            ASSERT_TRUE(db.value()->Put(key, value).ok());
+            shadow[key] = value;
+          }
+          Status s = db.value()->Flush();
+          if (!s.ok()) {
+            EXPECT_TRUE(meta_fault->crashed())
+                << "non-crash failure: " << s.ToString();
+            crashed = true;
+          }
+        }
+        ASSERT_TRUE(crashed) << "meta crash fuse " << k << " never fired";
+        // Power loss without Close(): the super log lags the shards.
+      }
+
+      meta_fault->ClearCrash();
+      auto db = ShardedDb::Open(o, kShards, env);
+      ASSERT_TRUE(db.ok()) << "benign super-manifest crash at meta op " << k
+                           << " read as attack: " << db.status().ToString();
+      for (const auto& [key, value] : shadow) {
+        auto got = db.value()->GetVerified(key);
+        ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
+        ASSERT_TRUE(got.value().record.has_value()) << key;
+        EXPECT_EQ(got.value().record->value, value) << key;
+      }
+      // The super log must keep extending across another cadence cycle.
+      for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(db.value()->Put("post-crash", "alive").ok());
+        ASSERT_TRUE(db.value()->Flush().ok());
+      }
+      ASSERT_TRUE(db.value()->Close().ok());
+      auto again = ShardedDb::Open(o, kShards, env);
+      ASSERT_TRUE(again.ok()) << again.status().ToString();
+      auto got = again.value()->Get("post-crash");
+      ASSERT_TRUE(got.ok());
+      ASSERT_TRUE(got.value().has_value());
+      EXPECT_EQ(*got.value(), "alive");
+    }
   }
 }
 

@@ -370,22 +370,43 @@ TEST_F(FanoutAdversaryTest, TamperedShardFailsWholeParallelScan) {
 }
 
 TEST_F(FanoutAdversaryTest, StaleShardManifestDetectedDespitePool) {
-  // Roll one shard's sealed manifest back to an older snapshot (stale
-  // freshness, not byte corruption) and reopen: the super-manifest's
-  // last_ts floor must reject it no matter how many fan-out threads the
-  // reopened instance is configured with.
+  // Roll one shard's sealed manifest *log* (snapshot file plus its delta
+  // tail) back to an older, validly-sealed capture — stale freshness, not
+  // byte corruption — and reopen: the super-manifest's last_ts floor must
+  // reject it no matter how many fan-out threads the reopened instance is
+  // configured with.
   const uint32_t victim = 3;
-  const std::string manifest =
-      ShardedDb::ShardName(FanoutOptions(0).name, victim) + "/MANIFEST";
-  auto stale = env_->shard_fs[victim]->Blob(manifest);
-  ASSERT_NE(stale, nullptr);
-  const std::string stale_bytes = *stale;
+  const std::string shard_prefix =
+      ShardedDb::ShardName(FanoutOptions(0).name, victim);
+  auto capture_log = [&](std::map<std::string, std::string>* files) {
+    files->clear();
+    for (const std::string& name : env_->shard_fs[victim]->List("")) {
+      if (name == shard_prefix + "/MANIFEST" ||
+          name.starts_with(shard_prefix + "/EDITS-")) {
+        auto bytes = env_->shard_fs[victim]->ReadAll(name);
+        ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+        (*files)[name] = std::move(bytes).value();
+      }
+    }
+  };
+  std::map<std::string, std::string> stale;
+  ASSERT_NO_FATAL_FAILURE(capture_log(&stale));
+  ASSERT_FALSE(stale.empty());
   for (int i = 400; i < 800; ++i) {
     ASSERT_TRUE(db_->Put(Key(i), "epoch2").ok());
   }
   ASSERT_TRUE(db_->Close().ok());
   db_.reset();
-  ASSERT_TRUE(env_->shard_fs[victim]->Write(manifest, stale_bytes).ok());
+  std::map<std::string, std::string> current;
+  ASSERT_NO_FATAL_FAILURE(capture_log(&current));
+  for (const auto& [name, _] : current) {
+    if (!stale.count(name)) {
+      ASSERT_TRUE(env_->shard_fs[victim]->Delete(name).ok());
+    }
+  }
+  for (const auto& [name, bytes] : stale) {
+    ASSERT_TRUE(env_->shard_fs[victim]->Write(name, bytes).ok());
+  }
   auto reopened = ShardedDb::Open(FanoutOptions(4), kShards, env_);
   ASSERT_FALSE(reopened.ok()) << "stale shard manifest accepted";
   EXPECT_TRUE(reopened.status().IsAuthFailure())

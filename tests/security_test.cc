@@ -6,6 +6,7 @@
 #include "auth/adversary.h"
 #include "auth/proof.h"
 #include "auth/verifier.h"
+#include "common/coding.h"
 #include "elsm/elsm_db.h"
 #include "storage/simfs.h"
 #include "temp_dir.h"
@@ -350,6 +351,230 @@ TEST(ManifestTest, TamperedManifestSealRejected) {
   auto db = ElsmDb::Open(options, fs, platform);
   ASSERT_FALSE(db.ok());
   EXPECT_TRUE(db.status().IsAuthFailure()) << db.status().ToString();
+}
+
+// --- manifest edit-log adversary --------------------------------------------
+//
+// The manifest is a sealed snapshot plus a hash-chained tail of sealed
+// delta records (src/elsm/manifest_log.h). These tests attack the *log
+// structure* — truncate, reorder, duplicate, splice across positions,
+// replay a stale generation, drop the snapshot under the tail — using only
+// the public Fs surface, so every attack runs identically against SimFs
+// and PosixFs. All must fail closed.
+class ManifestLogAdversaryTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    options_ = SmallOptions();
+    options_.counter_sync_period = 1;       // every persist bumps
+    options_.manifest_snapshot_edits = 100;  // keep the tail all-delta
+    if (std::string(GetParam()) == "posix") {
+      ASSERT_TRUE(dir_.ok());
+      options_.backend = storage::BackendKind::kPosix;
+      options_.backend_dir = dir_.path();
+    }
+    platform_ = std::make_shared<TrustedPlatform>();
+    auto enclave = std::make_shared<sgx::Enclave>(options_.cost_model, true);
+    fs_ = storage::MakeFs(options_.backend, options_.backend_dir, enclave);
+    // Several flush rounds so the tail holds a chain of delta records.
+    auto db = ElsmDb::Open(options_, fs_, platform_);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    for (int round = 0; round < 4; ++round) {
+      for (int i = 0; i < 40; ++i) {
+        ASSERT_TRUE(
+            db.value()
+                ->Put(Key(round * 40 + i), "v" + std::to_string(round))
+                .ok());
+      }
+      ASSERT_TRUE(db.value()->Flush().ok());
+    }
+    ASSERT_TRUE(db.value()->Close().ok());
+  }
+
+  Result<std::unique_ptr<ElsmDb>> Reopen() {
+    return ElsmDb::Open(options_, fs_, platform_);
+  }
+
+  std::string TailName() {
+    auto names = fs_->List(options_.name + "/EDITS-");
+    EXPECT_EQ(names.size(), 1u) << "expected exactly one live tail file";
+    return names.empty() ? std::string() : names[0];
+  }
+
+  // Splits the tail into self-contained frames (Fixed32 length + sealed
+  // record each), so attacks can drop/reorder/duplicate whole records and
+  // write the file back as a plain concatenation.
+  std::vector<std::string> TailFrames() {
+    auto raw = fs_->ReadAll(TailName());
+    EXPECT_TRUE(raw.ok()) << raw.status().ToString();
+    std::vector<std::string> frames;
+    if (!raw.ok()) return frames;
+    std::string_view cursor(raw.value());
+    while (cursor.size() >= 4) {
+      std::string_view peek = cursor;
+      uint32_t len = 0;
+      EXPECT_TRUE(GetFixed32(&peek, &len));
+      if (peek.size() < len) break;
+      frames.emplace_back(cursor.substr(0, 4 + len));
+      cursor.remove_prefix(4 + len);
+    }
+    EXPECT_TRUE(cursor.empty()) << "torn tail in a cleanly closed store";
+    return frames;
+  }
+
+  void WriteTail(const std::vector<std::string>& frames) {
+    std::string raw;
+    for (const std::string& frame : frames) raw += frame;
+    ASSERT_TRUE(fs_->Write(TailName(), raw).ok());
+  }
+
+  test_util::TempDir dir_;
+  Options options_;
+  std::shared_ptr<TrustedPlatform> platform_;
+  std::shared_ptr<storage::Fs> fs_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, ManifestLogAdversaryTest,
+                         ::testing::Values("sim", "posix"));
+
+TEST_P(ManifestLogAdversaryTest, HonestLogReplaysExactly) {
+  auto db = Reopen();
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      auto got = db.value()->GetVerified(Key(round * 40 + i));
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_TRUE(got.value().record.has_value());
+      EXPECT_EQ(got.value().record->value, "v" + std::to_string(round));
+    }
+  }
+  ASSERT_TRUE(db.value()->Close().ok());
+}
+
+TEST_P(ManifestLogAdversaryTest, TruncatedTailDetectedAsRollback) {
+  // Dropping the newest record yields a perfectly well-formed shorter log
+  // — an older acknowledged state. Only the counter can tell: the
+  // surviving newest record's sealed counter is behind the hardware.
+  auto frames = TailFrames();
+  ASSERT_GE(frames.size(), 2u);
+  frames.pop_back();
+  WriteTail(frames);
+  auto db = Reopen();
+  ASSERT_FALSE(db.ok()) << "truncated manifest tail accepted";
+  EXPECT_TRUE(db.status().IsRollbackDetected()) << db.status().ToString();
+}
+
+TEST_P(ManifestLogAdversaryTest, ReorderedTailRecordsDetected) {
+  auto frames = TailFrames();
+  ASSERT_GE(frames.size(), 2u);
+  std::swap(frames[0], frames[1]);
+  WriteTail(frames);
+  auto db = Reopen();
+  ASSERT_FALSE(db.ok()) << "reordered manifest tail accepted";
+  EXPECT_TRUE(db.status().IsAuthFailure()) << db.status().ToString();
+}
+
+TEST_P(ManifestLogAdversaryTest, DuplicatedTailRecordDetected) {
+  // Replaying a legitimate record at a second position breaks the strict
+  // seq+1 rule even though every individual seal verifies.
+  auto frames = TailFrames();
+  ASSERT_GE(frames.size(), 1u);
+  frames.push_back(frames.back());
+  WriteTail(frames);
+  auto db = Reopen();
+  ASSERT_FALSE(db.ok()) << "duplicated manifest record accepted";
+  EXPECT_TRUE(db.status().IsAuthFailure()) << db.status().ToString();
+}
+
+TEST_P(ManifestLogAdversaryTest, SnapshotSplicedIntoTailDetected) {
+  // The snapshot file is validly sealed — framing it into the tail must
+  // still fail on the record-kind check (a snapshot never rides the tail).
+  auto manifest = fs_->ReadAll(options_.name + "/MANIFEST");
+  ASSERT_TRUE(manifest.ok());
+  auto frames = TailFrames();
+  std::string spliced;
+  PutFixed32(&spliced, static_cast<uint32_t>(manifest.value().size()));
+  spliced += manifest.value();
+  frames.push_back(spliced);
+  WriteTail(frames);
+  auto db = Reopen();
+  ASSERT_FALSE(db.ok()) << "snapshot record accepted inside the tail";
+  EXPECT_TRUE(db.status().IsAuthFailure()) << db.status().ToString();
+}
+
+TEST_P(ManifestLogAdversaryTest, DeltaRecordAsSnapshotDetected) {
+  // Inverse splice: promote a validly sealed delta record to the snapshot
+  // position.
+  auto frames = TailFrames();
+  ASSERT_GE(frames.size(), 1u);
+  const std::string sealed_record = frames.back().substr(4);
+  ASSERT_TRUE(fs_->Write(options_.name + "/MANIFEST", sealed_record).ok());
+  auto db = Reopen();
+  ASSERT_FALSE(db.ok()) << "delta record accepted as the snapshot";
+  EXPECT_TRUE(db.status().IsAuthFailure() || db.status().IsCorruption())
+      << db.status().ToString();
+}
+
+TEST_P(ManifestLogAdversaryTest, StaleLogGenerationReplayDetected) {
+  // Capture the whole manifest log (snapshot + tail), advance the store,
+  // then roll just the log files back to the authentic-but-stale capture.
+  // The final replayed record's sealed counter is behind the hardware.
+  std::map<std::string, std::string> capture;
+  for (const std::string& name :
+       {std::string(options_.name + "/MANIFEST"), TailName()}) {
+    auto bytes = fs_->ReadAll(name);
+    ASSERT_TRUE(bytes.ok());
+    capture[name] = std::move(bytes).value();
+  }
+  {
+    auto db = Reopen();
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(db.value()->Put(Key(i), "fresher").ok());
+    }
+    ASSERT_TRUE(db.value()->Flush().ok());
+    ASSERT_TRUE(db.value()->Close().ok());
+  }
+  for (const auto& [name, bytes] : capture) {
+    ASSERT_TRUE(fs_->Write(name, bytes).ok());
+  }
+  auto db = Reopen();
+  ASSERT_FALSE(db.ok()) << "stale manifest log generation accepted";
+  EXPECT_TRUE(db.status().IsRollbackDetected()) << db.status().ToString();
+}
+
+TEST_P(ManifestLogAdversaryTest, DroppedSnapshotUnderTailFailsClosed) {
+  ASSERT_TRUE(fs_->Delete(options_.name + "/MANIFEST").ok());
+  auto db = Reopen();
+  ASSERT_FALSE(db.ok()) << "tail without its snapshot accepted";
+  EXPECT_TRUE(db.status().IsRollbackDetected() || db.status().IsAuthFailure())
+      << db.status().ToString();
+}
+
+TEST_P(ManifestLogAdversaryTest, CounterOneAheadWindowIsExactlyOne) {
+  // The bump-after-durable ordering leaves one legal gap: the newest
+  // sealed record may be exactly one ahead of the hardware counter (crash
+  // after the record landed, before the bump). Recovery must sync the
+  // hardware up for that gap and fail closed for any wider one — a
+  // two-ahead record cannot result from any crash of the honest protocol.
+  const uint64_t hw = platform_->counter.Read();
+  ASSERT_GE(hw, 3u);
+
+  auto two_behind = std::make_shared<TrustedPlatform>();
+  two_behind->sealing_key = platform_->sealing_key;
+  for (uint64_t i = 0; i + 2 < hw; ++i) two_behind->counter.Increment();
+  auto rejected = ElsmDb::Open(options_, fs_, two_behind);
+  ASSERT_FALSE(rejected.ok()) << "two-ahead sealed counter accepted";
+  EXPECT_TRUE(rejected.status().IsCorruption())
+      << rejected.status().ToString();
+
+  auto one_behind = std::make_shared<TrustedPlatform>();
+  one_behind->sealing_key = platform_->sealing_key;
+  for (uint64_t i = 0; i + 1 < hw; ++i) one_behind->counter.Increment();
+  auto db = ElsmDb::Open(options_, fs_, one_behind);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(one_behind->counter.Read(), hw)
+      << "recovery must sync the hardware to the sealed value";
+  ASSERT_TRUE(db.value()->Close().ok());
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "auth/adversary.h"
+#include "common/coding.h"
 #include "common/random.h"
 #include "elsm/sharded_db.h"
 #include "storage/fault_fs.h"
@@ -266,6 +267,128 @@ TEST_F(ShardedAdversaryTest, DeletedSuperManifestDetectedOnReopen) {
   auto reopened = ShardedDb::Open(ShardOptions(), kShards, env_);
   ASSERT_FALSE(reopened.ok());
   EXPECT_TRUE(reopened.status().IsRollbackDetected())
+      << reopened.status().ToString();
+}
+
+// --- super-manifest edit-log adversary --------------------------------------
+//
+// The super-manifest is the same sealed log shape as the per-shard
+// manifests: a SUPER snapshot plus a hash-chained SUPER-EDITS tail of
+// delta records. Structural attacks on that log (truncate, reorder, stale
+// replay, dropped snapshot) must fail closed exactly like their
+// single-store counterparts in security_test.cc.
+class SuperLogAdversaryTest : public ShardedAdversaryTest {
+ protected:
+  // Another write+flush round so the super tail gains one more sealed
+  // delta record (per-shard digests change, so the refresh appends).
+  void AdvanceEpoch(const std::string& value) {
+    for (int i = 0; i < 400; ++i) {
+      ASSERT_TRUE(db_->Put(Key(i), value).ok());
+    }
+    ASSERT_TRUE(db_->Flush().ok());
+  }
+
+  void CloseDb() {
+    ASSERT_TRUE(db_->Close().ok());
+    db_.reset();
+  }
+
+  std::string SuperTailName() {
+    auto names = env_->meta_fs->List(ShardOptions().name + "/SUPER-EDITS-");
+    EXPECT_EQ(names.size(), 1u) << "expected exactly one live super tail";
+    return names.empty() ? std::string() : names[0];
+  }
+
+  // Self-contained frames (Fixed32 length + sealed record each).
+  std::vector<std::string> SuperTailFrames() {
+    auto raw = env_->meta_fs->ReadAll(SuperTailName());
+    EXPECT_TRUE(raw.ok()) << raw.status().ToString();
+    std::vector<std::string> frames;
+    if (!raw.ok()) return frames;
+    std::string_view cursor(raw.value());
+    while (cursor.size() >= 4) {
+      std::string_view peek = cursor;
+      uint32_t len = 0;
+      EXPECT_TRUE(GetFixed32(&peek, &len));
+      if (peek.size() < len) break;
+      frames.emplace_back(cursor.substr(0, 4 + len));
+      cursor.remove_prefix(4 + len);
+    }
+    EXPECT_TRUE(cursor.empty()) << "torn super tail in a clean store";
+    return frames;
+  }
+
+  void WriteSuperTail(const std::vector<std::string>& frames) {
+    std::string raw;
+    for (const std::string& frame : frames) raw += frame;
+    ASSERT_TRUE(env_->meta_fs->Write(SuperTailName(), raw).ok());
+  }
+};
+
+TEST_F(SuperLogAdversaryTest, TruncatedSuperTailDetectedAsRollback) {
+  AdvanceEpoch("epoch2");
+  CloseDb();
+  auto frames = SuperTailFrames();
+  ASSERT_GE(frames.size(), 2u);
+  frames.pop_back();
+  WriteSuperTail(frames);
+  auto reopened = ShardedDb::Open(ShardOptions(), kShards, env_);
+  ASSERT_FALSE(reopened.ok()) << "truncated super tail accepted";
+  EXPECT_TRUE(reopened.status().IsRollbackDetected())
+      << reopened.status().ToString();
+}
+
+TEST_F(SuperLogAdversaryTest, ReorderedSuperTailRecordsDetected) {
+  AdvanceEpoch("epoch2");
+  CloseDb();
+  auto frames = SuperTailFrames();
+  ASSERT_GE(frames.size(), 2u);
+  std::swap(frames[0], frames[1]);
+  WriteSuperTail(frames);
+  auto reopened = ShardedDb::Open(ShardOptions(), kShards, env_);
+  ASSERT_FALSE(reopened.ok()) << "reordered super tail accepted";
+  EXPECT_TRUE(reopened.status().IsAuthFailure())
+      << reopened.status().ToString();
+}
+
+TEST_F(SuperLogAdversaryTest, StaleSuperLogReplayDetected) {
+  // Capture the super log (snapshot + tail), advance every layer, then
+  // roll only the super log back to the authentic-but-stale capture. The
+  // newest surviving record's sealed meta counter is behind the hardware.
+  CloseDb();
+  std::map<std::string, std::string> capture;
+  for (const std::string& name :
+       {std::string(ShardOptions().name + "/SUPER"), SuperTailName()}) {
+    auto bytes = env_->meta_fs->ReadAll(name);
+    ASSERT_TRUE(bytes.ok());
+    capture[name] = std::move(bytes).value();
+  }
+  {
+    auto db = ShardedDb::Open(ShardOptions(), kShards, env_);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    for (int i = 0; i < 400; ++i) {
+      ASSERT_TRUE(db.value()->Put(Key(i), "fresher").ok());
+    }
+    ASSERT_TRUE(db.value()->Flush().ok());
+    ASSERT_TRUE(db.value()->Close().ok());
+  }
+  for (const auto& [name, bytes] : capture) {
+    ASSERT_TRUE(env_->meta_fs->Write(name, bytes).ok());
+  }
+  auto reopened = ShardedDb::Open(ShardOptions(), kShards, env_);
+  ASSERT_FALSE(reopened.ok()) << "stale super log accepted";
+  EXPECT_TRUE(reopened.status().IsRollbackDetected())
+      << reopened.status().ToString();
+}
+
+TEST_F(SuperLogAdversaryTest, DroppedSuperSnapshotUnderTailFailsClosed) {
+  CloseDb();
+  ASSERT_TRUE(env_->meta_fs->Delete(ShardOptions().name + "/SUPER").ok());
+  ASSERT_TRUE(env_->meta_fs->Exists(SuperTailName()));
+  auto reopened = ShardedDb::Open(ShardOptions(), kShards, env_);
+  ASSERT_FALSE(reopened.ok()) << "super tail without its snapshot accepted";
+  EXPECT_TRUE(reopened.status().IsRollbackDetected() ||
+              reopened.status().IsAuthFailure())
       << reopened.status().ToString();
 }
 
