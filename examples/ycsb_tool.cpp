@@ -4,7 +4,8 @@
 //
 //   $ ./build/examples/ycsb_tool [workload] [engine] [records] [ops]
 //         (plus optional --shards=N --fanout-threads=N
-//          --backend={sim,posix} --dir=PATH anywhere in argv)
+//          --backend={sim,posix} --dir=PATH
+//          --fault-rate=R --fault-seed=S anywhere in argv)
 //   $ ./build/examples/ycsb_tool A p2 20000 10000
 //   $ ./build/examples/ycsb_tool A p2 20000 10000 --shards=4
 //   $ ./build/examples/ycsb_tool E p2 20000 10000 --shards=8 --fanout-threads=8
@@ -21,6 +22,14 @@
 // fsync-honest durability; --backend=sim (default) keeps the in-memory
 // deterministic disk. Both report simulated latencies *and* wall-clock
 // phase times — on posix the wall clock is the first real-hardware number.
+//
+// --fault-rate=R (R in (0,1]) wraps every eLSM disk in storage::FaultFs
+// with a seeded probabilistic transient-error stream: each fs op fails
+// Unavailable with probability R, exercising the bounded-retry path under
+// load. --fault-seed=S picks the deterministic stream (default 1; shard i
+// uses S+i). The run prints a health line — retries absorbed/exhausted,
+// WAL tail repairs, injected faults, degraded/sick-shard state — so soak
+// runs surface how much of the storm the retry policy absorbed.
 #include <unistd.h>
 
 #include <algorithm>
@@ -34,6 +43,8 @@
 #include "baseline/eleos_store.h"
 #include "baseline/merkle_btree.h"
 #include "elsm/elsm_db.h"
+#include "elsm/sharded_db.h"
+#include "storage/fault_fs.h"
 #include "ycsb/kv_interface.h"
 #include "ycsb/runner.h"
 
@@ -93,12 +104,19 @@ int main(int argc, char** argv) {
   uint32_t fanout_threads = 0;
   const char* backend_name = "sim";
   std::string dir;
+  double fault_rate = 0.0;
+  uint64_t fault_seed = 1;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--backend=", 10) == 0) {
       backend_name = argv[i] + 10;
     } else if (std::strncmp(argv[i], "--dir=", 6) == 0) {
       dir = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--fault-rate=", 13) == 0) {
+      fault_rate = strtod(argv[i] + 13, nullptr);
+    } else if (std::strncmp(argv[i], "--fault-seed=", 13) == 0) {
+      fault_seed = strtoull(argv[i] + 13, nullptr, 10);
+      if (fault_seed == 0) fault_seed = 1;
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = uint32_t(strtoul(argv[i] + 9, nullptr, 10));
       if (shards == 0) shards = 1;
@@ -154,6 +172,9 @@ int main(int argc, char** argv) {
   std::unique_ptr<baseline::MerkleBTree> btree;
   std::shared_ptr<sgx::Enclave> enclave;
   std::unique_ptr<KvInterface> kv;
+  // The injection decorators when --fault-rate is set (one per disk), kept
+  // for the end-of-run health report.
+  std::vector<std::shared_ptr<storage::FaultFs>> fault_fs;
 
   if (std::strcmp(engine_name, "eleos") == 0) {
     enclave = std::make_shared<sgx::Enclave>(sgx::CostModel{}, true);
@@ -180,9 +201,28 @@ int main(int argc, char** argv) {
                               ? lsm::ReadPathKind::kBuffer
                               : lsm::ReadPathKind::kMmap;
     }
+    // With --fault-rate, build each disk the store would have built and
+    // wrap it in a FaultFs carrying the seeded transient-error stream
+    // (the stores re-home the enclaves on open).
+    auto make_faulty_fs = [&](uint64_t seed) {
+      auto fs_enclave = std::make_shared<sgx::Enclave>(
+          options.cost_model, options.mode != Mode::kUnsecured);
+      auto f = std::make_shared<storage::FaultFs>(
+          storage::MakeFs(backend, dir, fs_enclave));
+      f->SetTransientRate(fault_rate, seed);
+      fault_fs.push_back(f);
+      return f;
+    };
     if (shards > 1) {
       options.fanout_threads = fanout_threads;
-      auto opened = ShardedDb::Create(options, shards);
+      std::shared_ptr<ShardEnv> env;
+      if (fault_rate > 0.0) {
+        env = std::make_shared<ShardEnv>();
+        for (uint32_t i = 0; i < shards; ++i) {
+          env->shard_fs.push_back(make_faulty_fs(fault_seed + i));
+        }
+      }
+      auto opened = ShardedDb::Open(options, shards, env);
       if (!opened.ok()) {
         std::fprintf(stderr, "open failed: %s\n",
                      opened.status().ToString().c_str());
@@ -190,6 +230,16 @@ int main(int argc, char** argv) {
       }
       sharded = std::move(opened).value();
       kv = std::make_unique<ShardedKv>(sharded.get());
+    } else if (fault_rate > 0.0) {
+      auto opened = ElsmDb::Open(options, make_faulty_fs(fault_seed),
+                                 std::make_shared<TrustedPlatform>());
+      if (!opened.ok()) {
+        std::fprintf(stderr, "open failed: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      db = std::move(opened).value();
+      kv = std::make_unique<ElsmKv>(db.get());
     } else {
       auto opened = ElsmDb::Create(options);
       if (!opened.ok()) {
@@ -237,6 +287,15 @@ int main(int argc, char** argv) {
                   : 0.0,
               backend_name);
 
+  // Health line: how the retry/degradation machinery fared. Always printed
+  // for eLSM engines — all-zero without --fault-rate, the absorbed/
+  // exhausted split under injection.
+  uint64_t retry_attempts = 0;
+  uint64_t retries_absorbed = 0;
+  uint64_t retries_exhausted = 0;
+  uint64_t wal_tail_repairs = 0;
+  uint64_t injected = 0;
+  for (const auto& f : fault_fs) injected += f->injected_faults();
   if (sharded != nullptr) {
     uint64_t flushes = 0;
     uint64_t compactions = 0;
@@ -250,6 +309,10 @@ int main(int argc, char** argv) {
       manifest_edits += es.manifest_edits_appended.load();
       manifest_snapshots += es.manifest_snapshots_written.load();
       manifest_bytes += es.manifest_bytes_written.load();
+      retry_attempts += es.retry_attempts.load();
+      retries_absorbed += es.retries_absorbed.load();
+      retries_exhausted += es.retries_exhausted.load();
+      wal_tail_repairs += es.wal_tail_repairs.load();
     }
     const auto& fan = sharded->fanout_stats();
     std::printf("sharded: shards=%u flushes=%llu compactions=%llu "
@@ -264,6 +327,16 @@ int main(int argc, char** argv) {
                 (unsigned long long)manifest_edits,
                 (unsigned long long)manifest_snapshots,
                 double(manifest_bytes) / 1024.0);
+    std::printf("health: retries=%llu absorbed=%llu exhausted=%llu "
+                "wal-repairs=%llu injected-faults=%llu sick-shards=%u "
+                "maintenance-skips=%llu\n",
+                (unsigned long long)retry_attempts,
+                (unsigned long long)retries_absorbed,
+                (unsigned long long)retries_exhausted,
+                (unsigned long long)wal_tail_repairs,
+                (unsigned long long)injected, sharded->sick_shards(),
+                (unsigned long long)sharded->fanout_stats()
+                    .maintenance_shards_skipped.load());
   }
   if (db != nullptr) {
     const auto counters = db->enclave().counters();
@@ -279,6 +352,14 @@ int main(int argc, char** argv) {
                 (unsigned long long)es.manifest_edits_appended.load(),
                 (unsigned long long)es.manifest_snapshots_written.load(),
                 double(es.manifest_bytes_written.load()) / 1024.0);
+    std::printf("health: retries=%llu absorbed=%llu exhausted=%llu "
+                "wal-repairs=%llu injected-faults=%llu degraded=%s\n",
+                (unsigned long long)es.retry_attempts.load(),
+                (unsigned long long)es.retries_absorbed.load(),
+                (unsigned long long)es.retries_exhausted.load(),
+                (unsigned long long)es.wal_tail_repairs.load(),
+                (unsigned long long)injected,
+                db->degraded() ? "yes" : "no");
   }
   return 0;
 }

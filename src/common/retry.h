@@ -1,0 +1,66 @@
+// Bounded retry with deterministic exponential backoff for transient
+// storage faults (DESIGN.md §6 error vocabulary: only Status::IsTransient()
+// is retried; permanent classes surface immediately).
+//
+// The backoff "sleep" is a caller-supplied callback so common/ stays free
+// of a sgxsim dependency: storage-engine callers charge the simulated
+// enclave clock (Enclave::Advance), keeping every retry schedule
+// reproducible — no wall-clock, no jitter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace elsm::common {
+
+// Knobs threaded through elsm::Options / lsm::LsmOptions. The defaults
+// absorb a one-shot transient fault (2 retries) while keeping worst-case
+// simulated stall bounded (~700us at the default backoff).
+struct RetryPolicy {
+  // Total attempts including the first one; <=1 disables retrying.
+  int max_attempts = 3;
+  // Simulated-clock backoff before retry k (1-based) is
+  // backoff_base_ns << (k-1), capped at backoff_cap_ns.
+  uint64_t backoff_base_ns = 100'000;      // 100us
+  uint64_t backoff_cap_ns = 10'000'000;    // 10ms
+
+  bool enabled() const { return max_attempts > 1; }
+
+  uint64_t BackoffNs(int retry_index) const {
+    uint64_t ns = backoff_base_ns;
+    for (int i = 1; i < retry_index && ns < backoff_cap_ns; ++i) ns <<= 1;
+    return ns < backoff_cap_ns ? ns : backoff_cap_ns;
+  }
+};
+
+// Counters an engine exposes for observability; incremented by RunWithRetry.
+struct RetryStats {
+  uint64_t attempts = 0;   // extra attempts beyond the first
+  uint64_t absorbed = 0;   // ops that failed transiently, then succeeded
+  uint64_t exhausted = 0;  // ops that stayed transient through the budget
+};
+
+// Runs `op` until it returns a non-transient status or the attempt budget
+// is spent. `sleep_ns` (may be null) is invoked with the backoff before
+// each retry; `stats` (may be null) is updated without locking — callers
+// serialize or use one RetryStats per thread.
+template <typename Op>
+Status RunWithRetry(const RetryPolicy& policy, Op&& op,
+                    const std::function<void(uint64_t)>& sleep_ns = nullptr,
+                    RetryStats* stats = nullptr) {
+  Status s = op();
+  for (int retry = 1; s.IsTransient() && retry < policy.max_attempts;
+       ++retry) {
+    if (sleep_ns) sleep_ns(policy.BackoffNs(retry));
+    if (stats != nullptr) ++stats->attempts;
+    s = op();
+    if (s.ok() && stats != nullptr) ++stats->absorbed;
+  }
+  if (s.IsTransient() && stats != nullptr) ++stats->exhausted;
+  return s;
+}
+
+}  // namespace elsm::common

@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "CapacityExceeded";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

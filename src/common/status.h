@@ -23,6 +23,7 @@ enum class StatusCode {
   kRollbackDetected,   // state freshness violated across restarts
   kCapacityExceeded,   // e.g. the Eleos baseline's 1 GB-equivalent cap
   kNotSupported,
+  kUnavailable,        // transient host-side fault; safe to retry
 };
 
 // Human-readable name of a status code ("Ok", "AuthFailure", ...).
@@ -59,6 +60,9 @@ class Status {
   static Status NotSupported(std::string m) {
     return {StatusCode::kNotSupported, std::move(m)};
   }
+  static Status Unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -70,6 +74,12 @@ class Status {
   bool IsCapacityExceeded() const {
     return code_ == StatusCode::kCapacityExceeded;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  // Transient faults are safe to retry verbatim: the failed call had no
+  // effect (or an effect the caller repairs before retrying). Permanent
+  // classes — Corruption, AuthFailure, CapacityExceeded, plain IOError —
+  // must surface instead of burning retry budget.
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/coding.h"
+#include "common/retry.h"
 #include "crypto/cipher.h"
 #include "crypto/ope.h"
 #include "elsm/manifest_log.h"
@@ -27,6 +28,7 @@ lsm::LsmOptions MakeEngineOptions(const Options& o) {
   eo.compaction_enabled = o.compaction_enabled;
   eo.background_compaction = o.background_compaction;
   eo.sync_writes = o.sync_writes;
+  eo.io_retry = o.io_retry;
   eo.read_buffer_bytes = o.read_buffer_bytes;
   // The facade persists the manifest; compacted-away files may only be
   // unlinked after the manifest dropping them is durable (crash safety),
@@ -348,7 +350,12 @@ Status ElsmDb::ReplayWal(uint64_t wal_count, const crypto::Hash256& wal_dig,
     Status s = engine_->ReinsertFromWal(std::move(record).value());
     if (!s.ok()) return s;
   }
-  return Status::Ok();
+  // Tail repair (after the digest checks accepted the well-formed prefix):
+  // drop any torn bytes past it so post-recovery appends never land behind
+  // garbage — a frame appended there would be unreachable to the next
+  // replay and silently lose the acknowledged write. Also primes the
+  // engine's committed-offset tracking for its write-path repair.
+  return engine_->TruncateWalTail(wal.value().valid_bytes);
 }
 
 Status ElsmDb::PersistManifest(const crypto::Hash256& wal_dig,
@@ -357,7 +364,22 @@ Status ElsmDb::PersistManifest(const crypto::Hash256& wal_dig,
   const bool bump =
       options_.rollback_defense &&
       flush_count_ % std::max<uint32_t>(1, options_.counter_sync_period) == 0;
+  // Persist-level retry: a transiently failed snapshot install re-runs as
+  // the same idempotent atomic replace, and a transiently failed delta
+  // append sets force_snapshot_ inside the attempt — so the retry installs
+  // a fresh-generation snapshot instead of appending again behind possible
+  // garbage. The raw append is never blindly retried.
+  common::RetryStats rstats;
+  Status s = common::RunWithRetry(
+      options_.io_retry,
+      [&] { return PersistManifestOnce(wal_dig, wal_count, bump); },
+      [this](uint64_t ns) { enclave_->Advance(ns); }, &rstats);
+  engine_->NoteRetry(rstats);
+  return s;
+}
 
+Status ElsmDb::PersistManifestOnce(const crypto::Hash256& wal_dig,
+                                   uint64_t wal_count, bool bump) {
   manifest::StoreState state;
   state.last_ts = last_ts_;
   state.flushed_ts = flushed_ts_;
@@ -534,10 +556,10 @@ Status ElsmDb::FlushInternal(bool only_if_full) {
     return Status::Ok();  // another writer flushed while we queued
   }
   Status s = engine_->Flush();
-  if (!s.ok()) return s;
+  if (!s.ok()) return NoteWriteResult(std::move(s));
   if (!options_.background_compaction) {
     s = engine_->MaybeCompact();
-    if (!s.ok()) return s;
+    if (!s.ok()) return NoteWriteResult(std::move(s));
   }
   // Crash ordering: every record at/below last_ts_ is now in the level
   // stack, so persist a manifest recording the post-truncation WAL state
@@ -548,10 +570,16 @@ Status ElsmDb::FlushInternal(bool only_if_full) {
   flushed_ts_ = last_ts_;
   if (options_.persist_manifest_on_flush) {
     s = PersistManifest(crypto::kZeroHash, 0);
-    if (!s.ok()) return s;
+    if (!s.ok()) return NoteWriteResult(std::move(s));
   }
   s = engine_->ResetWal();
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    // The unlink may have landed before a later barrier of the reset
+    // failed; the live digest must keep matching the on-disk WAL either
+    // way, or a later Close() would seal coverage of vanished frames.
+    if (!fs_->Exists(options_.name + "/wal")) wal_digest_.Reset();
+    return NoteWriteResult(std::move(s));
+  }
   wal_digest_.Reset();
   engine_->PurgeObsoleteFiles();
   lock.unlock();
@@ -569,7 +597,36 @@ Status ElsmDb::PersistAfterBackgroundCompaction() {
   if (closed_) return Status::Ok();
   Status s = PersistManifest();
   if (s.ok()) engine_->PurgeObsoleteFiles();
+  return NoteWriteResult(std::move(s));
+}
+
+Status ElsmDb::NoteWriteResult(Status s) {
+  // ENOSPC-class exhaustion flips the store into read-only degraded mode:
+  // the failed op left memtable, WAL, and digest consistent (op-level
+  // atomicity), so verified reads keep serving while writes fail fast
+  // until TryResume() finds space again.
+  if (s.IsCapacityExceeded()) {
+    degraded_.store(true, std::memory_order_release);
+  }
   return s;
+}
+
+Status ElsmDb::TryResume() {
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  if (closed_) return Status::IOError("store is closed");
+  if (!degraded_.load(std::memory_order_acquire)) return Status::Ok();
+  // Probe the disk the way the write path uses it: create, sync, and
+  // delete a scratch file under the store's namespace. A crash mid-probe
+  // strands a file GcOrphanFiles removes on the next open.
+  const std::string probe = options_.name + "/RESUME.probe";
+  Status s = fs_->Write(probe, "resume-probe");
+  if (s.ok() && options_.sync_writes) s = fs_->Sync(probe);
+  if (fs_->Exists(probe)) (void)fs_->Delete(probe);
+  if (!s.ok()) return s;  // still degraded
+  degraded_.store(false, std::memory_order_release);
+  // Pending memtable records (and their WAL frames) survived degradation
+  // untouched; the next flush drains them normally.
+  return Status::Ok();
 }
 
 void ElsmDb::RecordOpStat(Histogram OpStats::*h, uint64_t latency_ns) {
@@ -583,6 +640,10 @@ Status ElsmDb::Put(std::string_view key, std::string_view value) {
   {
     std::unique_lock<std::shared_mutex> lock(db_mu_);
     enclave_->ChargeEcall();
+    if (degraded()) {
+      return Status::CapacityExceeded(
+          "store is in read-only degraded mode (call TryResume)");
+    }
     lsm::Record record;
     record.ts = ++last_ts_;
     record.key = TransformKey(key);
@@ -595,7 +656,7 @@ Status ElsmDb::Put(std::string_view key, std::string_view value) {
     const std::string core = record.EncodeCore();
     enclave_->ChargeHash(core.size() + 32);
     Status s = engine_->Put(std::move(record));
-    if (!s.ok()) return s;
+    if (!s.ok()) return NoteWriteResult(std::move(s));
     wal_digest_.Append(core);
     need_flush = engine_->memtable_bytes() >= options_.memtable_bytes;
   }
@@ -610,6 +671,10 @@ Status ElsmDb::Delete(std::string_view key) {
   {
     std::unique_lock<std::shared_mutex> lock(db_mu_);
     enclave_->ChargeEcall();
+    if (degraded()) {
+      return Status::CapacityExceeded(
+          "store is in read-only degraded mode (call TryResume)");
+    }
     lsm::Record record;
     record.ts = ++last_ts_;
     record.key = TransformKey(key);
@@ -618,7 +683,7 @@ Status ElsmDb::Delete(std::string_view key) {
     const std::string core = record.EncodeCore();
     enclave_->ChargeHash(core.size() + 32);
     Status s = engine_->Put(std::move(record));
-    if (!s.ok()) return s;
+    if (!s.ok()) return NoteWriteResult(std::move(s));
     wal_digest_.Append(core);
     need_flush = engine_->memtable_bytes() >= options_.memtable_bytes;
   }
@@ -633,6 +698,10 @@ Status ElsmDb::Write(const WriteBatch& batch) {
   {
     std::unique_lock<std::shared_mutex> lock(db_mu_);
     enclave_->ChargeEcall();
+    if (degraded()) {
+      return Status::CapacityExceeded(
+          "store is in read-only degraded mode (call TryResume)");
+    }
     // Group commit: transform + digest every entry under the one lock
     // acquisition, then hand the whole batch to the engine as a single
     // WAL append (one world switch) and memtable pass.
@@ -655,7 +724,7 @@ Status ElsmDb::Write(const WriteBatch& batch) {
       records.push_back(std::move(record));
     }
     Status s = engine_->PutBatch(std::move(records));
-    if (!s.ok()) return s;
+    if (!s.ok()) return NoteWriteResult(std::move(s));
     // Digest after the engine accepted the batch (see Put).
     for (const std::string& core : cores) wal_digest_.Append(core);
     need_flush = engine_->memtable_bytes() >= options_.memtable_bytes;
@@ -787,16 +856,22 @@ Status ElsmDb::CompactAll() {
   if (options_.background_compaction) engine_->WaitForCompaction();
   std::unique_lock<std::shared_mutex> lock(db_mu_);
   Status s = engine_->Flush();
-  if (!s.ok()) return s;
+  if (!s.ok()) return NoteWriteResult(std::move(s));
   s = engine_->CompactAll();
-  if (!s.ok()) return s;
+  if (!s.ok()) return NoteWriteResult(std::move(s));
   // Same crash ordering as FlushInternal: manifest (recording the emptied
   // WAL) first, WAL truncation next, live digest reset only on success.
   flushed_ts_ = last_ts_;
   s = PersistManifest(crypto::kZeroHash, 0);
-  if (!s.ok()) return s;
+  if (!s.ok()) return NoteWriteResult(std::move(s));
   s = engine_->ResetWal();
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    // The unlink may have landed before a later barrier of the reset
+    // failed; the live digest must keep matching the on-disk WAL either
+    // way, or a later Close() would seal coverage of vanished frames.
+    if (!fs_->Exists(options_.name + "/wal")) wal_digest_.Reset();
+    return NoteWriteResult(std::move(s));
+  }
   wal_digest_.Reset();
   engine_->PurgeObsoleteFiles();
   return Status::Ok();

@@ -16,6 +16,7 @@
 // with or roll back.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -110,6 +111,19 @@ class ElsmDb {
   // Persist and stop; the Fs/platform can be reused to reopen.
   Status Close();
 
+  // --- degraded operation (transient-fault tolerance) ----------------------
+  // True while the store is in read-only degraded mode: a write path
+  // exhausted its retries on an ENOSPC-class fault, so writes fail fast
+  // with CapacityExceeded while verified Get/Scan keep serving (the
+  // memtable and WAL of the failed op are intact and consistent).
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  // Re-probes the disk with a small write+sync+delete under the store's
+  // namespace. Exits degraded mode and returns Ok when space is back
+  // (pending memtable data drains on the next flush); returns the probe's
+  // error — typically CapacityExceeded — while the disk is still full.
+  // Ok and a no-op when not degraded.
+  Status TryResume();
+
   // --- introspection ----------------------------------------------------------
   sgx::Enclave& enclave() { return *enclave_; }
   lsm::LsmEngine& engine() { return *engine_; }
@@ -158,6 +172,13 @@ class ElsmDb {
   Status PersistManifest() {
     return PersistManifest(wal_digest_.digest(), wal_digest_.count());
   }
+  // One attempt of the persist (PersistManifest wraps it in the retry
+  // policy; `bump` is decided once per logical persist).
+  Status PersistManifestOnce(const crypto::Hash256& wal_dig,
+                             uint64_t wal_count, bool bump);
+  // Marks the store degraded when `s` is a capacity exhaustion; returns `s`
+  // unchanged so write paths can tail-call it.
+  Status NoteWriteResult(Status s);
   // Deletes files under the store prefix that the recovered manifest does
   // not reference (crashed compactions/flushes strand their outputs, and
   // parked-for-deletion inputs whose purge never ran).
@@ -237,6 +258,11 @@ class ElsmDb {
   uint64_t flushed_ts_ = 0;
   uint64_t flush_count_ = 0;
   bool closed_ = false;
+  // Read-only degraded mode: set by NoteWriteResult on CapacityExceeded
+  // exhaustion, cleared by a successful TryResume probe. Atomic so stats
+  // and the fail-fast check need no lock; writes to it happen under
+  // exclusive db_mu_ sections (or flush_mu_ for background persists).
+  std::atomic<bool> degraded_{false};
   OpStats op_stats_;
 };
 

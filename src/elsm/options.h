@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/retry.h"
 #include "common/thread_pool.h"
 #include "lsm/engine.h"
 #include "sgxsim/cost_model.h"
@@ -39,6 +40,16 @@ struct Options {
   // Free on SimFs (always durable); real fsyncs on PosixFs. Disable only
   // for benchmarks that want the no-durability upper bound.
   bool sync_writes = true;
+  // Bounded retry for transient storage faults (Status::IsTransient — an
+  // EIO blip, EAGAIN-class resource pressure) on the retry-safe write
+  // paths: WAL append+sync with tail repair between attempts, SSTable and
+  // tree-sidecar installs (atomic whole-file replaces), and the manifest
+  // install (a failed delta append escalates to an idempotent
+  // fresh-generation snapshot before the retry). Backoff is charged on the
+  // simulated enclave clock, so retried runs stay deterministic.
+  // Permanent classes — Corruption, AuthFailure, CapacityExceeded, plain
+  // IOError — are never retried. max_attempts <= 1 disables retries.
+  common::RetryPolicy io_retry;
 
   // --- LSM geometry (defaults are the paper's setup scaled /64) ------------
   uint64_t memtable_bytes = 64 << 10;

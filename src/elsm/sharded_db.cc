@@ -155,6 +155,10 @@ Status ShardedDb::OpenShards() {
     if (name != live_tail) (void)env_->meta_fs->Delete(name);
   }
   shards_.reserve(num_shards_);
+  health_.clear();
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    health_.push_back(std::make_unique<ShardHealthState>());
+  }
   for (uint32_t i = 0; i < num_shards_; ++i) {
     Options shard_options = options_;
     shard_options.name = ShardName(options_.name, i);
@@ -713,6 +717,89 @@ Status ShardedDb::AllShards(const std::function<Status(ElsmDb&)>& fn) {
                 [&](size_t, uint32_t shard) { return fn(*shards_[shard]); });
 }
 
+bool ShardedDb::ShardSick(uint32_t shard) const {
+  return shards_[shard]->degraded() ||
+         health_[shard]->quarantined.load(std::memory_order_acquire);
+}
+
+void ShardedDb::NoteShardResult(uint32_t shard, const Status& s) {
+  ShardHealthState& h = *health_[shard];
+  if (s.ok()) {
+    h.consecutive_failures.store(0, std::memory_order_relaxed);
+    h.quarantined.store(false, std::memory_order_release);
+    return;
+  }
+  h.total_failures.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t consecutive =
+      h.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (consecutive >= kQuarantineAfter) {
+    h.quarantined.store(true, std::memory_order_release);
+  }
+}
+
+Status ShardedDb::MaintenanceFanOut(const std::function<Status(ElsmDb&)>& fn) {
+  // Sick shards are skipped, not failed: their error is already known (and
+  // point writes to them fail fast inside the shard), while the healthy
+  // shards must keep flushing/compacting. TryResume re-admits them.
+  std::vector<uint32_t> targets;
+  targets.reserve(num_shards_);
+  uint32_t skipped = 0;
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    if (ShardSick(i)) {
+      ++skipped;
+      continue;
+    }
+    targets.push_back(i);
+  }
+  if (skipped > 0) {
+    fanout_stats_.maintenance_shards_skipped.fetch_add(
+        skipped, std::memory_order_relaxed);
+  }
+  return FanOut(targets, [&](size_t, uint32_t shard) {
+    Status s = fn(*shards_[shard]);
+    NoteShardResult(shard, s);
+    return s;
+  });
+}
+
+ShardedDb::ShardHealthInfo ShardedDb::shard_health(uint32_t shard) const {
+  ShardHealthInfo info;
+  const ShardHealthState& h = *health_[shard];
+  info.consecutive_failures =
+      h.consecutive_failures.load(std::memory_order_relaxed);
+  info.total_failures = h.total_failures.load(std::memory_order_relaxed);
+  if (h.quarantined.load(std::memory_order_acquire)) {
+    info.state = ShardHealth::kQuarantined;
+  } else if (shards_[shard]->degraded()) {
+    info.state = ShardHealth::kDegraded;
+  }
+  return info;
+}
+
+uint32_t ShardedDb::sick_shards() const {
+  uint32_t n = 0;
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    if (ShardSick(i)) ++n;
+  }
+  return n;
+}
+
+Status ShardedDb::TryResume() {
+  std::lock_guard<std::mutex> lock(super_mu_);
+  std::vector<uint32_t> targets;
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    if (ShardSick(i)) targets.push_back(i);
+  }
+  // A quarantined-but-not-degraded shard (repeated transient exhaustion)
+  // answers its TryResume with Ok, which clears the quarantine through
+  // NoteShardResult; a degraded shard must pass its disk probe first.
+  return FanOut(targets, [&](size_t, uint32_t shard) {
+    Status s = shards_[shard]->TryResume();
+    NoteShardResult(shard, s);
+    return s;
+  });
+}
+
 Status ShardedDb::Flush() {
   // Maintenance fans out like the query paths: shards flush concurrently
   // on the pool (each under its own locks), with the same deterministic
@@ -720,14 +807,15 @@ Status ShardedDb::Flush() {
   // still runs. The super-manifest refresh stays serialized on super_mu_
   // and only happens once every shard's manifest is durable.
   std::lock_guard<std::mutex> lock(super_mu_);
-  Status s = AllShards([](ElsmDb& shard) { return shard.Flush(); });
+  Status s = MaintenanceFanOut([](ElsmDb& shard) { return shard.Flush(); });
   if (!s.ok()) return s;
   return PersistSuperManifest();
 }
 
 Status ShardedDb::CompactAll() {
   std::lock_guard<std::mutex> lock(super_mu_);
-  Status s = AllShards([](ElsmDb& shard) { return shard.CompactAll(); });
+  Status s =
+      MaintenanceFanOut([](ElsmDb& shard) { return shard.CompactAll(); });
   if (!s.ok()) return s;
   return PersistSuperManifest();
 }

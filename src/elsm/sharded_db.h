@@ -132,6 +132,28 @@ class ShardedDb {
   Status WaitForCompaction();
   Status Close();
 
+  // --- per-shard health (transient-fault tolerance) ------------------------
+  // Maintenance fan-out tracks each shard's outcomes: a shard whose store
+  // is in read-only degraded mode (ENOSPC-class exhaustion), or that
+  // failed kQuarantineAfter consecutive maintenance passes, is *sick* —
+  // Flush/CompactAll skip it (its failure would be repeated noise and
+  // healthy shards must keep getting maintained) until TryResume
+  // re-admits it. Point writes routed to a degraded shard still fail fast
+  // inside the shard; reads stay fail-closed and keep serving.
+  enum class ShardHealth { kHealthy, kDegraded, kQuarantined };
+  struct ShardHealthInfo {
+    ShardHealth state = ShardHealth::kHealthy;
+    uint64_t consecutive_failures = 0;
+    uint64_t total_failures = 0;
+  };
+  ShardHealthInfo shard_health(uint32_t shard) const;
+  // Number of shards currently skipped by maintenance fan-out.
+  uint32_t sick_shards() const;
+  // Fans ElsmDb::TryResume out to every sick shard and re-admits the ones
+  // whose probe succeeds. Returns the lowest still-failing shard's status
+  // (Ok when every shard is healthy again).
+  Status TryResume();
+
   // --- introspection -------------------------------------------------------
   // Fan-out observability: how often cross-shard ops ran, how many
   // per-shard scans were actually issued vs short-circuited away, and how
@@ -143,6 +165,8 @@ class ShardedDb {
     std::atomic<uint64_t> multigets{0};
     std::atomic<uint64_t> batch_writes{0};
     std::atomic<uint64_t> parallel_dispatches{0};
+    // Shard visits maintenance fan-out skipped because the shard was sick.
+    std::atomic<uint64_t> maintenance_shards_skipped{0};
   };
   const FanoutStats& fanout_stats() const { return fanout_stats_; }
   // The pool cross-shard ops dispatch onto (null = sequential fallback).
@@ -180,6 +204,11 @@ class ShardedDb {
                 const std::function<Status(size_t, uint32_t)>& fn);
   // FanOut over every shard (the maintenance paths).
   Status AllShards(const std::function<Status(ElsmDb&)>& fn);
+  // AllShards minus the sick shards, with per-shard outcomes folded into
+  // the health counters (Flush/CompactAll use this).
+  Status MaintenanceFanOut(const std::function<Status(ElsmDb&)>& fn);
+  bool ShardSick(uint32_t shard) const;
+  void NoteShardResult(uint32_t shard, const Status& s);
   // Verifies the sealed super-manifest against the trusted meta counter and
   // the shard disks (drop/swap/count/rollback-floor checks). Sets
   // *found=false when no super-manifest exists (fresh store candidate).
@@ -233,6 +262,18 @@ class ShardedDb {
   bool super_edits_dir_synced_ = false;
   std::vector<crypto::Hash256> recorded_digests_;
   std::vector<uint64_t> recorded_last_ts_;
+
+  // --- per-shard health ----------------------------------------------------
+  // Consecutive maintenance failures after which a shard is quarantined.
+  static constexpr uint64_t kQuarantineAfter = 3;
+  // Atomics (in unique_ptrs so the vector can size at open): maintenance
+  // fan-out updates them from pool threads.
+  struct ShardHealthState {
+    std::atomic<uint64_t> consecutive_failures{0};
+    std::atomic<uint64_t> total_failures{0};
+    std::atomic<bool> quarantined{false};
+  };
+  std::vector<std::unique_ptr<ShardHealthState>> health_;
 
   bool closed_ = false;
 };

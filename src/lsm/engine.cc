@@ -96,20 +96,100 @@ Status LsmEngine::SyncWal() {
   return Status::Ok();
 }
 
+Status LsmEngine::RetryIo(const std::function<Status()>& op) {
+  common::RetryStats rs;
+  Status s = common::RunWithRetry(
+      options_.io_retry, op,
+      [this](uint64_t ns) { enclave_->Advance(ns); }, &rs);
+  NoteRetry(rs);
+  return s;
+}
+
+void LsmEngine::NoteRetry(const common::RetryStats& stats) {
+  if (stats.attempts != 0) {
+    stats_.retry_attempts.fetch_add(stats.attempts,
+                                    std::memory_order_relaxed);
+  }
+  if (stats.absorbed != 0) {
+    stats_.retries_absorbed.fetch_add(stats.absorbed,
+                                      std::memory_order_relaxed);
+  }
+  if (stats.exhausted != 0) {
+    stats_.retries_exhausted.fetch_add(stats.exhausted,
+                                       std::memory_order_relaxed);
+  }
+}
+
+Status LsmEngine::RepairWalTailLocked() {
+  if (!wal_dirty_) return Status::Ok();
+  const std::string& name = wal_.name();
+  if (fs_->Exists(name)) {
+    auto size = fs_->FileSize(name);
+    if (!size.ok()) return size.status();
+    if (size.value() > wal_committed_bytes_) {
+      Status s = fs_->Truncate(name, wal_committed_bytes_);
+      if (!s.ok()) return s;
+      stats_.wal_tail_repairs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  wal_dirty_ = false;
+  return Status::Ok();
+}
+
+Status LsmEngine::TruncateWalTail(uint64_t committed_bytes) {
+  const std::string& name = wal_.name();
+  if (fs_->Exists(name)) {
+    auto size = fs_->FileSize(name);
+    if (!size.ok()) return size.status();
+    if (size.value() > committed_bytes) {
+      Status s = RetryIo(
+          [&] { return fs_->Truncate(name, committed_bytes); });
+      if (!s.ok()) return s;
+      stats_.wal_tail_repairs.fetch_add(1, std::memory_order_relaxed);
+      if (options_.sync_writes) {
+        s = RetryIo([&] { return fs_->Sync(name); });
+        if (!s.ok()) return s;
+      }
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  wal_committed_bytes_ = committed_bytes;
+  wal_dirty_ = false;
+  return Status::Ok();
+}
+
 Status LsmEngine::Put(Record record) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   ++stats_.puts;
   const std::string core = record.EncodeCore();
-  // w3: append to the WAL outside the enclave. The world switch is group-
-  // committed across writers; its amortized share lives in wal_append_ns.
-  Status s = wal_.Append(core);
+  // w3: append to the WAL outside the enclave (the world switch is group-
+  // committed across writers; its amortized share lives in wal_append_ns),
+  // then make it durable before acknowledging (Fs::Sync contract). A
+  // transient fault anywhere in the sequence marks the tail dirty — the
+  // unacknowledged frame may sit there torn or unsynced — and the retry
+  // truncates back to the committed boundary before appending again, so
+  // the WAL never accretes garbage mid-stream. A clean error after
+  // exhaustion leaves the record out of both WAL and memtable: the op
+  // failed atomically and a later attempt starts from the repaired tail.
+  Status s = RetryIo([&]() -> Status {
+    Status rs = RepairWalTailLocked();
+    if (!rs.ok()) return rs;
+    rs = wal_.Append(core);
+    if (!rs.ok()) {
+      wal_dirty_ = true;
+      return rs;
+    }
+    if (options_.sync_writes) {
+      rs = SyncWal();
+      if (!rs.ok()) {
+        wal_dirty_ = true;
+        return rs;
+      }
+    }
+    wal_committed_bytes_ += core.size() + storage::kWalFrameOverhead;
+    return Status::Ok();
+  });
   if (!s.ok()) return s;
-  // Durability before acknowledgement (Fs::Sync contract): a crash after
-  // this point must not lose the record. Free on SimFs; fsync on PosixFs.
-  if (options_.sync_writes) {
-    s = SyncWal();
-    if (!s.ok()) return s;
-  }
   // w1: insert into the L0 write buffer inside the enclave.
   const uint64_t size = record.ByteSize() + 64;
   enclave_->AccessRegion(memtable_region_,
@@ -125,14 +205,33 @@ Status LsmEngine::PutBatch(std::vector<Record> records) {
   stats_.puts += records.size();
   std::vector<std::string> cores;
   cores.reserve(records.size());
-  for (const Record& record : records) cores.push_back(record.EncodeCore());
-  // w3, group commit: one WAL append (one world switch) covers the batch.
-  Status s = wal_.AppendBatch(cores);
-  if (!s.ok()) return s;
-  if (options_.sync_writes) {
-    s = SyncWal();  // one fsync covers the whole group commit
-    if (!s.ok()) return s;
+  uint64_t frame_bytes = 0;
+  for (const Record& record : records) {
+    cores.push_back(record.EncodeCore());
+    frame_bytes += cores.back().size() + storage::kWalFrameOverhead;
   }
+  // w3, group commit: one WAL append (one world switch) covers the batch.
+  // Same retry/tail-repair discipline as Put — the whole batch commits or
+  // none of it does (the repair truncate drops a partially landed group).
+  Status s = RetryIo([&]() -> Status {
+    Status rs = RepairWalTailLocked();
+    if (!rs.ok()) return rs;
+    rs = wal_.AppendBatch(cores);
+    if (!rs.ok()) {
+      wal_dirty_ = true;
+      return rs;
+    }
+    if (options_.sync_writes) {
+      rs = SyncWal();  // one fsync covers the whole group commit
+      if (!rs.ok()) {
+        wal_dirty_ = true;
+        return rs;
+      }
+    }
+    wal_committed_bytes_ += frame_bytes;
+    return Status::Ok();
+  });
+  if (!s.ok()) return s;
   for (Record& record : records) {
     const uint64_t size = record.ByteSize() + 64;
     enclave_->AccessRegion(memtable_region_,
@@ -917,14 +1016,16 @@ Status LsmEngine::FinishOutputFile(LevelBuild* build) {
   }
   enclave_->ChargeOcall();
   enclave_->Copy(contents.size(), /*cross_boundary=*/true);
-  Status s = fs_->Write(meta.name, std::move(contents));
+  // Retry-safe: Fs::Write is an atomic whole-file replace, so a failed
+  // attempt left either nothing or a complete file the next attempt
+  // rewrites. The manifest that references this file may persist right
+  // after the version swap; the file must already be durable by then.
+  Status s = RetryIo([&]() -> Status {
+    Status ws = fs_->Write(meta.name, contents);
+    if (!ws.ok()) return ws;
+    return options_.sync_writes ? fs_->Sync(meta.name) : Status::Ok();
+  });
   if (!s.ok()) return s;
-  // The manifest that references this file may persist right after the
-  // version swap; the file must already be durable by then.
-  if (options_.sync_writes) {
-    s = fs_->Sync(meta.name);
-    if (!s.ok()) return s;
-  }
   build->level.bytes += meta.size;
   build->level.num_records += meta.num_records;
   if (listener_ != nullptr) listener_->OnTableFileCreated(meta);
@@ -940,12 +1041,13 @@ Status LsmEngine::FinalizeLevel(LevelBuild* build, const CompactionSeal& seal) {
   if (!seal.tree_payload.empty()) {
     build->level.tree_file = NewFileName(".tree");
     enclave_->ChargeOcall();
-    s = fs_->Write(build->level.tree_file, seal.tree_payload);
+    s = RetryIo([&]() -> Status {
+      Status ws = fs_->Write(build->level.tree_file, seal.tree_payload);
+      if (!ws.ok()) return ws;
+      return options_.sync_writes ? fs_->Sync(build->level.tree_file)
+                                  : Status::Ok();
+    });
     if (!s.ok()) return s;
-    if (options_.sync_writes) {
-      s = fs_->Sync(build->level.tree_file);
-      if (!s.ok()) return s;
-    }
   }
   return Status::Ok();
 }
@@ -1195,15 +1297,32 @@ void LsmEngine::PurgeObsoleteFiles() {
 Status LsmEngine::ResetWal() {
   const std::string name = options_.name + "/wal";
   wal_dir_synced_.store(false, std::memory_order_relaxed);
+  Status result = Status::Ok();
   if (fs_->Exists(name)) {
-    Status s = fs_->Delete(name);
-    if (!s.ok()) return s;
+    // Retry-safe: an injected transient fault means the unlink did not
+    // happen; the vanished-between-attempts check covers a real POSIX
+    // EINTR whose unlink may have landed before the interruption.
+    result = RetryIo([&]() -> Status {
+      Status ds = fs_->Delete(name);
+      if (!ds.ok() && !fs_->Exists(name)) return Status::Ok();
+      return ds;
+    });
     // Make the truncation durable: a crash must not resurrect frames the
     // manifest already claims are flushed (ReplayWal would skip them via
     // flushed_ts, but an honest namespace keeps recovery simple).
-    if (options_.sync_writes) return fs_->SyncDir();
+    if (result.ok() && options_.sync_writes) {
+      result = RetryIo([&] { return fs_->SyncDir(); });
+    }
   }
-  return Status::Ok();
+  // A failed *delete* leaves the old offsets valid. But once the file is
+  // really gone, tracking must restart with the next WAL generation even
+  // when a post-delete SyncDir exhausted its retries — the vanished file's
+  // offsets must not leak into the one the next append creates.
+  if (fs_->Exists(name)) return result;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  wal_committed_bytes_ = 0;
+  wal_dirty_ = false;
+  return result;
 }
 
 uint64_t LsmEngine::wal_bytes() const {

@@ -46,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "lsm/merge_iter.h"
 #include "lsm/record.h"
@@ -94,6 +95,12 @@ struct LsmOptions {
   // PurgeObsoleteFiles() once the manifest dropping them is durable. Keeps
   // a crash between version swap and manifest persist recoverable.
   bool defer_obsolete_deletion = false;
+  // Bounded retry for transient storage faults (Status::IsTransient) on the
+  // retry-safe write paths: WAL append+sync (with tail repair between
+  // attempts), SSTable/tree-sidecar installs (atomic whole-file replace),
+  // and WAL reset. Backoff is charged on the simulated clock, so retried
+  // runs stay deterministic. max_attempts <= 1 disables retries.
+  common::RetryPolicy io_retry;
 };
 
 // Everything a CompactionListener returns to seal a freshly built level.
@@ -232,6 +239,14 @@ struct EngineStats {
   std::atomic<uint64_t> manifest_edits_appended = 0;
   std::atomic<uint64_t> manifest_snapshots_written = 0;
   std::atomic<uint64_t> manifest_bytes_written = 0;
+  // Transient-fault tolerance telemetry: extra attempts spent in retry
+  // loops, ops whose transient failure a retry absorbed, ops that exhausted
+  // the retry budget, and WAL tails truncated back to the last committed
+  // frame boundary (write-path repair + recovery-time torn-tail drops).
+  std::atomic<uint64_t> retry_attempts = 0;
+  std::atomic<uint64_t> retries_absorbed = 0;
+  std::atomic<uint64_t> retries_exhausted = 0;
+  std::atomic<uint64_t> wal_tail_repairs = 0;
 };
 
 class LsmEngine {
@@ -317,11 +332,20 @@ class LsmEngine {
   // Manifest-maintenance telemetry (see EngineStats): the facade reports
   // each sealed manifest write here.
   void NoteManifestWrite(bool snapshot, uint64_t bytes);
+  // Retry telemetry (see EngineStats): the facade folds in the stats of
+  // retry loops it runs itself (manifest install).
+  void NoteRetry(const common::RetryStats& stats);
   Result<storage::WalContents> ReadWalRecords() const;
   // Reinserts a WAL record into the memtable without re-appending it.
   Status ReinsertFromWal(Record record);
   Status ResetWal();
   uint64_t wal_bytes() const;
+  // Recovery-side tail repair: drops WAL bytes past `committed_bytes` (the
+  // well-formed prefix ReadWal accepted) so post-recovery appends never
+  // land behind a torn frame, and primes the committed-offset tracking the
+  // write path's repair relies on. The facade calls it after a successful
+  // WAL replay.
+  Status TruncateWalTail(uint64_t committed_bytes);
 
  private:
   // A level under construction: SSTable building, bloom, file bookkeeping.
@@ -358,6 +382,13 @@ class LsmEngine {
   // one-time directory fsync per WAL generation (a freshly created WAL's
   // directory entry is not durable until SyncDir — fs.h contract).
   Status SyncWal();
+  // Runs `op` under options_.io_retry, charging backoff on the simulated
+  // clock and folding the attempt counts into stats_.
+  Status RetryIo(const std::function<Status()>& op);
+  // If a failed append/sync left unacknowledged bytes at the WAL's tail
+  // (wal_dirty_), truncates back to wal_committed_bytes_ so the next frame
+  // never lands behind garbage. Callers hold the exclusive write lock.
+  Status RepairWalTailLocked();
 
   Status LookupInLevel(const LevelMeta& level, std::string_view key,
                        uint64_t ts_max, LevelGetResult* out) const;
@@ -433,6 +464,15 @@ class LsmEngine {
   // mutate it under the exclusive write lock, so relaxed atomics only
   // guard against incidental concurrent reads.
   std::atomic<bool> wal_dir_synced_{false};
+  // Bytes of the WAL covered by acknowledged appends (always a frame
+  // boundary). A failed append/sync sets wal_dirty_: a torn or orphan
+  // frame may sit past the committed offset, and a frame appended behind
+  // it would be unreachable to ReadWal — and would diverge the facade's
+  // in-enclave WAL digest into a spurious AuthFailure on recovery. The
+  // next append (or recovery) truncates back to the committed offset
+  // first. Guarded by the exclusive write lock (mu_).
+  uint64_t wal_committed_bytes_ = 0;
+  bool wal_dirty_ = false;
   std::unique_ptr<storage::ReadBuffer> read_buffer_;
   mutable std::mutex mmaps_mu_;
   mutable std::unordered_map<std::string, storage::MmapRegion> mmaps_;

@@ -38,6 +38,103 @@ void FaultFs::EnableUnsyncedLoss(bool on) {
   if (!on) undo_log_.clear();
 }
 
+void FaultFs::ScheduleTransient(uint64_t ops_from_now, TransientKind kind,
+                                double keep_fraction) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  transient_at_ = transient_ops_ + std::max<uint64_t>(1, ops_from_now);
+  transient_kind_ = kind;
+  transient_keep_ = std::clamp(keep_fraction, 0.0, 1.0);
+}
+
+void FaultFs::SetTransientRate(double rate, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  transient_rate_ = rate;
+  rng_state_ = seed != 0 ? seed : 0x9e3779b97f4a7c15ull;
+}
+
+void FaultFs::SetCapacityBudget(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  capacity_budget_ = bytes;
+}
+
+uint64_t FaultFs::transient_ops() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return transient_ops_;
+}
+
+uint64_t FaultFs::injected_faults() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return injected_faults_;
+}
+
+std::string FaultFs::transient_op() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return transient_op_;
+}
+
+Status FaultFs::MaybeTransientLocked(const char* kind, OpClass cls,
+                                     double* keep) const {
+  if (keep != nullptr) *keep = -1.0;
+  ++transient_ops_;
+  bool fire = false;
+  TransientKind fired = TransientKind::kEIO;
+  if (transient_at_ != 0 && transient_ops_ >= transient_at_) {
+    fire = true;
+    fired = transient_kind_;
+    transient_at_ = 0;  // one-shot: the blip has passed
+  } else if (transient_rate_ > 0.0) {
+    // xorshift64 → uniform draw in [0,1) from the top 53 bits.
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    const double draw = double(rng_state_ >> 11) * (1.0 / double(1ull << 53));
+    fire = draw < transient_rate_;
+  }
+  if (!fire) return Status::Ok();
+  ++injected_faults_;
+  transient_op_ = kind;
+  // Degrade kinds that make no sense for the op class: a read cannot run
+  // out of space or short-write, a sync/delete carries no payload.
+  if (cls == OpClass::kRead && fired == TransientKind::kENOSPC) {
+    fired = TransientKind::kEIO;
+  }
+  if (cls != OpClass::kPayload && fired == TransientKind::kShortWrite) {
+    fired = TransientKind::kEIO;
+  }
+  switch (fired) {
+    case TransientKind::kENOSPC:
+      return Status::CapacityExceeded(std::string("injected ENOSPC: ") + kind);
+    case TransientKind::kShortWrite:
+      if (keep != nullptr) *keep = transient_keep_;
+      return Status::Unavailable(std::string("injected short write: ") + kind);
+    case TransientKind::kEIO:
+      break;
+  }
+  return Status::Unavailable(std::string("injected EIO: ") + kind);
+}
+
+uint64_t FaultFs::UsedBytesLocked() const {
+  uint64_t used = 0;
+  for (const std::string& name : base_->List("")) {
+    auto size = base_->FileSize(name);
+    if (size.ok()) used += size.value();
+  }
+  return used;
+}
+
+Status FaultFs::CheckBudgetLocked(const char* kind, uint64_t new_bytes,
+                                  uint64_t replaced_bytes) const {
+  if (capacity_budget_ == 0) return Status::Ok();
+  // Recomputed from the base on every admission so undo-log rollbacks and
+  // direct adversary edits can never make the accounting drift.
+  const uint64_t used = UsedBytesLocked();
+  const uint64_t after = used - std::min(used, replaced_bytes) + new_bytes;
+  if (after <= capacity_budget_) return Status::Ok();
+  ++injected_faults_;
+  transient_op_ = kind;
+  return Status::CapacityExceeded(std::string("disk full (budget): ") + kind);
+}
+
 bool FaultFs::crashed() const {
   std::lock_guard<std::mutex> lock(fault_mu_);
   return crashed_;
@@ -111,6 +208,24 @@ void FaultFs::DropUnsyncedLocked() {
 
 Status FaultFs::Write(const std::string& name, std::string contents) {
   std::lock_guard<std::mutex> lock(fault_mu_);
+  if (!crashed_) {
+    double tkeep = -1.0;
+    Status ts = MaybeTransientLocked("write", OpClass::kPayload, &tkeep);
+    if (!ts.ok()) {
+      if (tkeep >= 0.0) {
+        // The short prefix really lands (and is undo-logged like any
+        // landed bytes) — a retrying caller must cope with it.
+        SnapshotLocked(Undo::Barrier::kData, name);
+        (void)base_->Write(
+            name, contents.substr(0, size_t(double(contents.size()) * tkeep)));
+      }
+      return ts;
+    }
+    auto replaced = base_->FileSize(name);
+    Status bs =
+        CheckBudgetLocked("write", contents.size(), replaced.value_or(0));
+    if (!bs.ok()) return bs;
+  }
   double keep = -1.0;
   if (CountOpLocked("write", &keep)) {
     if (keep >= 0.0) {
@@ -125,6 +240,20 @@ Status FaultFs::Write(const std::string& name, std::string contents) {
 
 Status FaultFs::Append(const std::string& name, std::string_view data) {
   std::lock_guard<std::mutex> lock(fault_mu_);
+  if (!crashed_) {
+    double tkeep = -1.0;
+    Status ts = MaybeTransientLocked("append", OpClass::kPayload, &tkeep);
+    if (!ts.ok()) {
+      if (tkeep >= 0.0) {
+        SnapshotLocked(Undo::Barrier::kData, name);
+        (void)base_->Append(
+            name, data.substr(0, size_t(double(data.size()) * tkeep)));
+      }
+      return ts;
+    }
+    Status bs = CheckBudgetLocked("append", data.size(), 0);
+    if (!bs.ok()) return bs;
+  }
   double keep = -1.0;
   if (CountOpLocked("append", &keep)) {
     if (keep >= 0.0) {
@@ -139,14 +268,36 @@ Status FaultFs::Append(const std::string& name, std::string_view data) {
 
 Status FaultFs::Delete(const std::string& name) {
   std::lock_guard<std::mutex> lock(fault_mu_);
+  if (!crashed_) {
+    Status ts = MaybeTransientLocked("delete", OpClass::kMutate, nullptr);
+    if (!ts.ok()) return ts;
+  }
   double keep = -1.0;
   if (CountOpLocked("delete", &keep)) return CrashedStatus();
   SnapshotLocked(Undo::Barrier::kNamespace, name);
   return base_->Delete(name);
 }
 
+Status FaultFs::Truncate(const std::string& name, uint64_t size) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  if (!crashed_) {
+    Status ts = MaybeTransientLocked("truncate", OpClass::kMutate, nullptr);
+    if (!ts.ok()) return ts;
+  }
+  double keep = -1.0;
+  if (CountOpLocked("truncate", &keep)) return CrashedStatus();
+  // A crash-era truncate simply does not happen (like Delete); when it
+  // does happen, the shrunk tail is data dirt until the next Sync.
+  SnapshotLocked(Undo::Barrier::kData, name);
+  return base_->Truncate(name, size);
+}
+
 Status FaultFs::Rename(const std::string& from, const std::string& to) {
   std::lock_guard<std::mutex> lock(fault_mu_);
+  if (!crashed_) {
+    Status ts = MaybeTransientLocked("rename", OpClass::kMutate, nullptr);
+    if (!ts.ok()) return ts;
+  }
   double keep = -1.0;
   if (CountOpLocked("rename", &keep)) return CrashedStatus();
   // Unsynced data dirt must follow the bytes to their new name: if the
@@ -185,6 +336,10 @@ Status FaultFs::Rename(const std::string& from, const std::string& to) {
 
 Status FaultFs::Sync(const std::string& name) {
   std::lock_guard<std::mutex> lock(fault_mu_);
+  if (!crashed_) {
+    Status ts = MaybeTransientLocked("sync", OpClass::kMutate, nullptr);
+    if (!ts.ok()) return ts;
+  }
   double keep = -1.0;
   if (CountOpLocked("sync", &keep)) return CrashedStatus();
   Status s = base_->Sync(name);
@@ -221,6 +376,10 @@ Status FaultFs::Sync(const std::string& name) {
 
 Status FaultFs::SyncDir() {
   std::lock_guard<std::mutex> lock(fault_mu_);
+  if (!crashed_) {
+    Status ts = MaybeTransientLocked("syncdir", OpClass::kMutate, nullptr);
+    if (!ts.ok()) return ts;
+  }
   double keep = -1.0;
   if (CountOpLocked("syncdir", &keep)) return CrashedStatus();
   Status s = base_->SyncDir();
@@ -239,16 +398,28 @@ Status FaultFs::SyncDir() {
 Result<std::string> FaultFs::Read(const std::string& name, uint64_t offset,
                                   uint64_t len) const {
   std::lock_guard<std::mutex> lock(fault_mu_);
+  if (!crashed_) {
+    Status ts = MaybeTransientLocked("read", OpClass::kRead, nullptr);
+    if (!ts.ok()) return ts;
+  }
   return base_->Read(name, offset, len);
 }
 
 Result<std::string> FaultFs::ReadAll(const std::string& name) const {
   std::lock_guard<std::mutex> lock(fault_mu_);
+  if (!crashed_) {
+    Status ts = MaybeTransientLocked("readall", OpClass::kRead, nullptr);
+    if (!ts.ok()) return ts;
+  }
   return base_->ReadAll(name);
 }
 
 Result<uint64_t> FaultFs::FileSize(const std::string& name) const {
   std::lock_guard<std::mutex> lock(fault_mu_);
+  if (!crashed_) {
+    Status ts = MaybeTransientLocked("filesize", OpClass::kRead, nullptr);
+    if (!ts.ok()) return ts;
+  }
   return base_->FileSize(name);
 }
 

@@ -64,6 +64,46 @@ class FaultFs : public Fs {
   // yet covered by a Sync/SyncDir barrier. Enable before the workload.
   void EnableUnsyncedLoss(bool on = true);
 
+  // --- transient-error injection -------------------------------------------
+  // Orthogonal to the crash modes above: a transiently faulted op returns a
+  // retryable Status (Unavailable / CapacityExceeded) while the disk stays
+  // alive — an EIO/ENOSPC/short-write blip, not a power failure. The
+  // transient op counter covers every Status-returning op *including
+  // reads* (Write / Append / Delete / Rename / Truncate / Sync / SyncDir /
+  // Read / ReadAll / FileSize), so an error-point walk can sweep the whole
+  // fallible surface. A transiently faulted op is checked before the crash
+  // schedule and does not count as a mutating op (it never reached the
+  // disk); short-write prefixes are still captured by the unsynced-loss
+  // undo log like any other landed bytes.
+  enum class TransientKind { kEIO, kENOSPC, kShortWrite };
+
+  // Arms a one-shot fault on the `ops_from_now`-th eligible op from now
+  // (1 = the very next). kEIO fails the op with Unavailable, nothing
+  // lands; kENOSPC fails it with CapacityExceeded; kShortWrite lands only
+  // floor(bytes * keep_fraction) of a Write/Append payload, then fails
+  // with Unavailable. Kinds degrade sensibly where they make no sense
+  // (reads and non-payload ops fault as kEIO). Auto-disarms after firing.
+  void ScheduleTransient(uint64_t ops_from_now, TransientKind kind,
+                         double keep_fraction = 0.5);
+  // Seeded probabilistic mode for soak/bench runs: each eligible op fails
+  // with Unavailable with probability `rate`, drawn from a deterministic
+  // xorshift64 stream. rate <= 0 disables.
+  void SetTransientRate(double rate, uint64_t seed);
+  // Sticky capacity budget: while armed, Write/Append admission keeps the
+  // sum of stored file sizes at or under `bytes`; an op that would exceed
+  // it fails with CapacityExceeded and nothing lands. Delete / Rename /
+  // Truncate stay admissible — freeing space must work on a full disk.
+  // 0 disarms (unlimited). This is how the ENOSPC-during-growth suites
+  // model a disk that fills up and is later cleared, on both backends.
+  void SetCapacityBudget(uint64_t bytes);
+
+  uint64_t transient_ops() const;    // eligible ops observed so far
+  uint64_t injected_faults() const;  // transient + budget faults fired
+  // Kind string of the most recent transient fault ("append", "read",
+  // "syncdir", ...), empty until one fires; walk harnesses report
+  // fault-surface coverage with it.
+  std::string transient_op() const;
+
   bool crashed() const;
   // Kind of the op the crash landed on ("append", "write", "delete",
   // "rename", "sync", "syncdir"), empty until the crash fires. Lets tests
@@ -77,10 +117,11 @@ class FaultFs : public Fs {
   Status Append(const std::string& name, std::string_view data) override;
   Status Delete(const std::string& name) override;
   Status Rename(const std::string& from, const std::string& to) override;
+  Status Truncate(const std::string& name, uint64_t size) override;
   Status Sync(const std::string& name) override;
   Status SyncDir() override;
 
-  // --- reads: forwarded, never fault-injected ------------------------------
+  // --- reads: forwarded; crash-immune but transient-eligible ---------------
   Result<std::string> Read(const std::string& name, uint64_t offset,
                            uint64_t len) const override;
   Result<std::string> ReadAll(const std::string& name) const override;
@@ -110,6 +151,20 @@ class FaultFs : public Fs {
   // when the caller must fail with IOError; sets *keep to the payload
   // fraction to land when this op is the crash point (negative otherwise).
   bool CountOpLocked(const char* kind, double* keep);
+  // Transient-eligible op classes: plain reads, non-payload mutations, and
+  // payload-carrying mutations (Write/Append — short-write candidates).
+  enum class OpClass { kRead, kMutate, kPayload };
+  // Counts one transient-eligible op and decides whether to fault it
+  // (scheduled one-shot first, then the probabilistic stream). Returns Ok
+  // to proceed; otherwise the status the op must return. For kPayload
+  // short-writes, *keep is set to the payload fraction to land first.
+  Status MaybeTransientLocked(const char* kind, OpClass cls,
+                              double* keep) const;
+  // Capacity-budget admission for an op that stores `new_bytes` while
+  // replacing `replaced_bytes` of an existing file.
+  Status CheckBudgetLocked(const char* kind, uint64_t new_bytes,
+                           uint64_t replaced_bytes) const;
+  uint64_t UsedBytesLocked() const;
   bool HasUndoLocked(Undo::Barrier barrier, const std::string& name) const;
   // Captures `name`'s pre-image into the undo log (unsynced mode only).
   void SnapshotLocked(Undo::Barrier barrier, const std::string& name);
@@ -131,6 +186,18 @@ class FaultFs : public Fs {
   bool unsynced_loss_ = false;
   std::string crash_op_;
   std::vector<Undo> undo_log_;
+
+  // Transient state is mutated from const read paths; fault_mu_ (already
+  // mutable) guards it all.
+  mutable uint64_t transient_ops_ = 0;
+  mutable uint64_t transient_at_ = 0;  // 0 = disarmed; absolute op index
+  TransientKind transient_kind_ = TransientKind::kEIO;
+  double transient_keep_ = 0.5;
+  double transient_rate_ = 0.0;
+  mutable uint64_t rng_state_ = 0;
+  uint64_t capacity_budget_ = 0;  // 0 = unlimited
+  mutable uint64_t injected_faults_ = 0;
+  mutable std::string transient_op_;
 };
 
 }  // namespace elsm::storage

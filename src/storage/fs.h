@@ -70,6 +70,11 @@ class Fs {
 
   virtual Status Delete(const std::string& name) = 0;
   virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  // Shrinks `name` to exactly `size` bytes (ftruncate semantics; growing is
+  // not supported). Used by WAL tail repair: after a failed/short append the
+  // writer truncates back to the last committed frame boundary so the next
+  // append never lands behind garbage.
+  virtual Status Truncate(const std::string& name, uint64_t size) = 0;
 
   // Durability barriers — see the contract in the file comment.
   virtual Status Sync(const std::string& name) = 0;

@@ -25,17 +25,71 @@ bool IsTmpName(std::string_view name) {
                       kTmpSuffix) == 0;
 }
 
-Status Errno(const std::string& op, const std::string& name) {
-  return Status::IOError(op + " " + name + ": " + std::strerror(errno));
+// Errno name for the classes we care about; "errno=N" otherwise. Kept in
+// every message so operators (and tests) see the raw cause, not just our
+// classification of it.
+std::string ErrnoName(int err) {
+  switch (err) {
+    case EIO: return "EIO";
+    case EINTR: return "EINTR";
+    case ENOSPC: return "ENOSPC";
+    case EDQUOT: return "EDQUOT";
+    case EAGAIN: return "EAGAIN";
+    case ENFILE: return "ENFILE";
+    case EMFILE: return "EMFILE";
+    case EBUSY: return "EBUSY";
+    case ENOMEM: return "ENOMEM";
+    case ENOENT: return "ENOENT";
+    case EEXIST: return "EEXIST";
+    case EACCES: return "EACCES";
+    case EROFS: return "EROFS";
+    case EFBIG: return "EFBIG";
+    default: return "errno=" + std::to_string(err);
+  }
 }
 
-Status WriteWholeFd(int fd, std::string_view data) {
+// Errno fidelity: space exhaustion is CapacityExceeded (the engine reacts
+// by entering read-only degraded mode, not by retrying into a full disk);
+// resource-pressure errnos are Unavailable (IsTransient — retry sites key
+// off the class). EIO stays a permanent IOError on purpose: after a failed
+// fsync the kernel may have dropped the dirty pages, so "retry the fsync"
+// would falsely report durability (the fsyncgate trap).
+Status Errno(const std::string& op, const std::string& name) {
+  const int err = errno;
+  std::string m =
+      op + " " + name + ": " + ErrnoName(err) + " (" + std::strerror(err) + ")";
+  switch (err) {
+    case ENOSPC:
+    case EDQUOT:
+      return Status::CapacityExceeded(std::move(m));
+    case EAGAIN:
+    case ENFILE:
+    case EMFILE:
+    case EBUSY:
+    case ENOMEM:
+      return Status::Unavailable(std::move(m));
+    default:
+      return Status::IOError(std::move(m));
+  }
+}
+
+// open(2) with the EINTR retry the blocking syscalls below get; open can
+// be interrupted when the file lives on a slow (network) filesystem.
+int OpenRetry(const char* path, int flags, mode_t mode = 0) {
+  int fd;
+  do {
+    fd = ::open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+Status WriteWholeFd(int fd, const std::string& name, std::string_view data) {
   size_t done = 0;
   while (done < data.size()) {
     const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError(std::string("write: ") + std::strerror(errno));
+      return Errno("write", name);
     }
     done += size_t(n);
   }
@@ -44,7 +98,7 @@ Status WriteWholeFd(int fd, std::string_view data) {
 
 Result<std::string> ReadRange(const std::string& path, const std::string& name,
                               uint64_t offset, uint64_t len) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  const int fd = OpenRetry(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) return Status::IOError("no such file: " + name);
   struct stat st {};
   if (::fstat(fd, &st) != 0) {
@@ -76,12 +130,41 @@ Result<std::string> ReadRange(const std::string& path, const std::string& name,
 }
 
 Status FsyncPath(const std::string& path, const std::string& label) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  const int fd = OpenRetry(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) return Status::IOError("no such file: " + label);
   Status s = Status::Ok();
-  if (::fsync(fd) != 0) s = Errno("fsync", label);
+  int r;
+  do {
+    r = ::fsync(fd);
+  } while (r != 0 && errno == EINTR);
+  if (r != 0) s = Errno("fsync", label);
   ::close(fd);
   return s;
+}
+
+// rename(2)/unlink(2)/truncate(2) with the same EINTR retry.
+int RenameRetry(const char* from, const char* to) {
+  int r;
+  do {
+    r = ::rename(from, to);
+  } while (r != 0 && errno == EINTR);
+  return r;
+}
+
+int UnlinkRetry(const char* path) {
+  int r;
+  do {
+    r = ::unlink(path);
+  } while (r != 0 && errno == EINTR);
+  return r;
+}
+
+int TruncateRetry(const char* path, off_t size) {
+  int r;
+  do {
+    r = ::truncate(path, size);
+  } while (r != 0 && errno == EINTR);
+  return r;
 }
 
 }  // namespace
@@ -151,8 +234,12 @@ Status PosixFs::EnsureParentDirs(const std::string& path) const {
   std::error_code ec;
   fsys::create_directories(fsys::path(path).parent_path(), ec);
   if (ec) {
-    return Status::IOError("cannot create directories for " + path + ": " +
-                           ec.message());
+    std::string m =
+        "cannot create directories for " + path + ": " + ec.message();
+    if (ec == std::errc::no_space_on_device) {
+      return Status::CapacityExceeded(std::move(m));
+    }
+    return Status::IOError(std::move(m));
   }
   return Status::Ok();
 }
@@ -183,18 +270,19 @@ Status PosixFs::Write(const std::string& name, std::string contents) {
   Status s = EnsureParentDirs(path);
   if (!s.ok()) return s;
   const std::string tmp = path + std::string(kTmpSuffix);
-  const int fd = ::open(tmp.c_str(),
-                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  const int fd = OpenRetry(tmp.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) return Errno("open", name);
-  s = WriteWholeFd(fd, contents);
+  s = WriteWholeFd(fd, name, contents);
   ::close(fd);
   if (!s.ok()) {
-    (void)::unlink(tmp.c_str());
+    (void)UnlinkRetry(tmp.c_str());
     return s;
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    (void)::unlink(tmp.c_str());
-    return Errno("rename", name);
+  if (RenameRetry(tmp.c_str(), path.c_str()) != 0) {
+    Status rs = Errno("rename", name);
+    (void)UnlinkRetry(tmp.c_str());
+    return rs;
   }
   MarkDirsDirty(path);
   InvalidateBlob(name);
@@ -210,10 +298,10 @@ Status PosixFs::Append(const std::string& name, std::string_view data) {
   if (!s.ok()) return s;
   struct stat st {};
   const bool creating = ::stat(path.c_str(), &st) != 0;
-  const int fd = ::open(path.c_str(),
-                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  const int fd = OpenRetry(path.c_str(),
+                           O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
   if (fd < 0) return Errno("open", name);
-  s = WriteWholeFd(fd, data);
+  s = WriteWholeFd(fd, name, data);
   ::close(fd);
   if (s.ok()) {
     if (creating) MarkDirsDirty(path);
@@ -250,10 +338,29 @@ Status PosixFs::Delete(const std::string& name) {
   // Live Blob handles stay readable past the unlink (mmap-after-unlink):
   // they own their own in-memory copy; only the cache entry is dropped.
   InvalidateBlob(name);
-  if (::unlink(path.c_str()) != 0) {
-    return Status::IOError("no such file: " + name);
+  if (UnlinkRetry(path.c_str()) != 0) {
+    if (errno == ENOENT) return Status::IOError("no such file: " + name);
+    return Errno("unlink", name);
   }
   MarkDirsDirty(path);
+  return Status::Ok();
+}
+
+Status PosixFs::Truncate(const std::string& name, uint64_t size) {
+  if (!root_status_.ok()) return root_status_;
+  const std::string path = PathFor(name);
+  if (path.empty()) return Status::InvalidArgument("bad file name: " + name);
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) {
+    return Status::IOError("no such file: " + name);
+  }
+  if (size > uint64_t(st.st_size)) {
+    return Status::InvalidArgument("truncate would grow: " + name);
+  }
+  if (TruncateRetry(path.c_str(), off_t(size)) != 0) {
+    return Errno("truncate", name);
+  }
+  InvalidateBlob(name);
   return Status::Ok();
 }
 
@@ -269,7 +376,7 @@ Status PosixFs::Rename(const std::string& from, const std::string& to) {
   if (!s.ok()) return s;
   InvalidateBlob(from);
   InvalidateBlob(to);
-  if (::rename(from_path.c_str(), to_path.c_str()) != 0) {
+  if (RenameRetry(from_path.c_str(), to_path.c_str()) != 0) {
     return Errno("rename", from);
   }
   MarkDirsDirty(from_path);

@@ -60,6 +60,7 @@ class PosixFs : public Fs {
 
   Status Delete(const std::string& name) override;
   Status Rename(const std::string& from, const std::string& to) override;
+  Status Truncate(const std::string& name, uint64_t size) override;
   Status Sync(const std::string& name) override;
   Status SyncDir() override;
 

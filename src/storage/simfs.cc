@@ -60,6 +60,18 @@ Status SimFs::Rename(const std::string& from, const std::string& to) {
   return Status::Ok();
 }
 
+Status SimFs::Truncate(const std::string& name, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::IOError("no such file: " + name);
+  if (size > it->second->size()) {
+    return Status::InvalidArgument("truncate would grow: " + name);
+  }
+  // Copy-on-write so outstanding Blob() handles stay stable.
+  it->second = std::make_shared<std::string>(it->second->substr(0, size));
+  return Status::Ok();
+}
+
 Status SimFs::Sync(const std::string& name) {
   // Match fsync(2): syncing a file that does not exist is the caller's bug.
   std::lock_guard<std::mutex> lock(mu_);

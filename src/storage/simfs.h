@@ -40,6 +40,7 @@ class SimFs : public Fs {
 
   Status Delete(const std::string& name) override;
   Status Rename(const std::string& from, const std::string& to) override;
+  Status Truncate(const std::string& name, uint64_t size) override;
   // Always-durable backend: the barriers are free.
   Status Sync(const std::string& name) override;
   Status SyncDir() override { return Status::Ok(); }

@@ -14,6 +14,11 @@
 
 namespace elsm::storage {
 
+// Framing bytes per record: fixed32 length + fixed32 checksum. The engine
+// uses it to advance its committed-offset tracking by payload + overhead
+// per acknowledged frame.
+inline constexpr uint64_t kWalFrameOverhead = 8;
+
 class WalWriter {
  public:
   WalWriter(Fs* fs, std::string name) : fs_(fs), name_(std::move(name)) {}
