@@ -1,0 +1,161 @@
+// WAL group commit: durable multi-writer put throughput (ISSUE 8).
+//
+// Measures wall-clock us per acknowledged put on the posix backend while N
+// concurrent writer threads hammer one ElsmDb. With sync_writes on, every
+// acknowledged put is behind a real fsync; the leader/follower commit queue
+// amortizes that barrier across whoever is waiting, so the 8-writer durable
+// series should land within a small factor of the no-durability upper bound
+// instead of paying 8 independent fsyncs.
+//
+//   * nosync-8t      — sync_writes off, 8 writers: the upper bound
+//   * sync-1t        — fsync-per-put floor: one writer, nobody to share with
+//   * sync-8t        — 8 durable writers, cohorts form from contention alone
+//   * sync-8t-linger — same plus a 100us wal_sync_interval_us window: the
+//                      leader waits for stragglers, trading commit latency
+//                      for bigger cohorts (wins when fsync >> linger)
+//
+// Rows carry the "us_wall" unit (machine-dependent; compare_bench.py
+// reports them informationally and never gates). The bench itself prints
+// the sync-8t / nosync-8t amortization ratio — the ISSUE 8 acceptance
+// criterion is that it stays within ~5x.
+//
+// Posix-only by design (SimFs has no real fsync to amortize): the bench
+// exits quietly when ELSM_BENCH_BACKEND is set and excludes "posix".
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace elsm;
+using namespace elsm::bench;
+
+namespace {
+
+struct GroupSpec {
+  std::string series;
+  bool sync_writes;
+  uint32_t threads;
+  uint64_t sync_interval_us;
+};
+
+// Returns wall-clock us per acknowledged put, or a negative value on error.
+double RunSpec(const GroupSpec& spec, uint64_t records) {
+  Options o = BaseOptions(Mode::kP2);
+  o.name = "groupcommit";
+  o.backend = storage::BackendKind::kPosix;
+  o.sync_writes = spec.sync_writes;
+  o.wal_sync_interval_us = spec.sync_interval_us;
+  // Price the durable write path end to end, like fig_backend_wallclock.
+  o.persist_manifest_on_flush = true;
+
+  char tmpl[] = "/tmp/elsm-bench-XXXXXX";
+  const char* made = mkdtemp(tmpl);
+  if (made == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed; skipping %s\n",
+                 spec.series.c_str());
+    return -1.0;
+  }
+  const std::string dir = made;
+  o.backend_dir = dir;
+
+  struct DirCleanup {
+    const std::string& dir;
+    ~DirCleanup() {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  } cleanup{dir};
+
+  auto db = ElsmDb::Create(o);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open %s failed: %s\n", spec.series.c_str(),
+                 db.status().ToString().c_str());
+    return -1.0;
+  }
+
+  // Striped keys (thread t writes t, t+N, ...) so writers arrive at the WAL
+  // barrier together and join each other's commit cohorts.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> writers;
+  writers.reserve(spec.threads);
+  for (uint32_t t = 0; t < spec.threads; ++t) {
+    writers.emplace_back([&, t] {
+      for (uint64_t i = t; i < records; i += spec.threads) {
+        if (!db.value()->Put(ycsb::MakeKey(i, 16), ycsb::MakeValue(i, 100))
+                 .ok()) {
+          std::abort();  // every put must be acknowledged durable
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  const auto& es = db.value()->engine().stats();
+  if (es.group_commits > 0) {
+    std::printf("%-15s mean cohort %.2f over %llu commits\n",
+                spec.series.c_str(),
+                double(es.group_commit_records) / double(es.group_commits),
+                (unsigned long long)es.group_commits);
+  }
+  return std::chrono::duration<double, std::micro>(elapsed).count() /
+         double(records);
+}
+
+}  // namespace
+
+int main() {
+  // Honor run_bench.sh --backend: this bench is all real-fsync I/O, so a
+  // sim-only sweep skips it entirely.
+  if (const char* env = std::getenv("ELSM_BENCH_BACKEND");
+      env != nullptr && env[0] != '\0' &&
+      std::strstr(env, "posix") == nullptr) {
+    std::printf("fig_group_commit: skipped (ELSM_BENCH_BACKEND=%s has no "
+                "posix)\n",
+                env);
+    return 0;
+  }
+
+  const uint64_t records = 8000 / QuickDivisor();
+  PrintHeader("group_commit",
+              "WAL group commit: durable put us/op vs writer threads",
+              "8 durable writers share one leader's fsync; acceptance is "
+              "sync-8t within ~5x of the nosync upper bound");
+
+  const std::vector<GroupSpec> specs = {
+      {"nosync-8t", false, 8, 0},
+      {"sync-1t", true, 1, 0},
+      {"sync-8t", true, 8, 0},
+      {"sync-8t-linger", true, 8, 100},
+  };
+  double nosync_us = 0.0;
+  double sync8_us = 0.0;
+  for (const GroupSpec& spec : specs) {
+    const double us = RunSpec(spec, records);
+    if (us < 0.0) continue;
+    std::printf("%-10s threads=%u put=%9.2f us (wall, durable)\n",
+                spec.series.c_str(), spec.threads, us);
+    ReportRow("group_commit", spec.series, "threads", double(spec.threads),
+              us, "us_wall");
+    if (spec.series == "nosync-8t") nosync_us = us;
+    if (spec.series == "sync-8t") sync8_us = us;
+  }
+  if (nosync_us > 0.0 && sync8_us > 0.0) {
+    const double ratio = sync8_us / nosync_us;
+    std::printf("group commit amortization: sync-8t is %.1fx nosync-8t "
+                "(acceptance: <= ~5x)\n",
+                ratio);
+    // The raw us_wall rows are machine-dependent, but this ratio is the
+    // fsync amortization factor itself — comparable across machines, so
+    // compare_bench.py gates on it ("x" unit): a regression here means
+    // cohorts stopped forming.
+    ReportRow("group_commit", "amortization", "threads", 8.0, ratio, "x");
+  }
+  return 0;
+}

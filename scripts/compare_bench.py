@@ -7,9 +7,11 @@
 
 Rows are matched on (bench, series, x_name, x). The exit code is non-zero
 when any *watched* row regresses (its value grows) by more than --threshold,
-or when a watched base row disappeared. Only rows with simulated units
-("us", "ns") are watched: wall-clock and size rows ("us_wall", "kb") are
-machine- or feature-dependent and reported informationally.
+or when a watched base row disappeared. Only rows with machine-comparable
+units are watched: simulated latencies ("us", "ns") and dimensionless
+ratios ("x", e.g. fig_group_commit's fsync amortization factor).
+Wall-clock and size rows ("us_wall", "kb") are machine- or
+feature-dependent and reported informationally.
 
 Default watch list: every figure bench ("fig*:*"). micro_* benches measure
 real time and are never watched by default.
@@ -33,7 +35,7 @@ def load_rows(path):
 
 
 def watched(key, row, patterns):
-    if row.get("unit") not in ("us", "ns"):
+    if row.get("unit") not in ("us", "ns", "x"):
         return False
     name = f"{key[0]}:{key[1]}"
     return any(fnmatch.fnmatch(name, pat) for pat in patterns)

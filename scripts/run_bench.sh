@@ -67,6 +67,7 @@ FIG_BENCHES=(
   fig8_write_buffer
   fig_backend_wallclock
   fig_fanout
+  fig_group_commit
   fig_manifest_scaling
   fig_shard_scaling
   micro_enclave

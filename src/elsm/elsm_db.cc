@@ -28,6 +28,7 @@ lsm::LsmOptions MakeEngineOptions(const Options& o) {
   eo.compaction_enabled = o.compaction_enabled;
   eo.background_compaction = o.background_compaction;
   eo.sync_writes = o.sync_writes;
+  eo.wal_sync_interval_us = o.wal_sync_interval_us;
   eo.io_retry = o.io_retry;
   eo.read_buffer_bytes = o.read_buffer_bytes;
   // The facade persists the manifest; compacted-away files may only be
@@ -79,10 +80,26 @@ ElsmDb::ElsmDb(const Options& options, std::shared_ptr<storage::Fs> fs,
     engine_->SetCompactionCallback(
         [this] { return PersistAfterBackgroundCompaction(); });
   }
+  // The in-enclave WAL digest is maintained by the engine's commit leader:
+  // cores arrive here in WAL byte order, per record, only after the whole
+  // cohort's frames are durable (sync_writes) and under the engine's
+  // exclusive lock — so the digest can never run ahead of the real WAL (a
+  // failed append appends nothing here), and concurrent leaders serialize.
+  // Persist-time reads are safe without the engine lock: they run under
+  // exclusive db_mu_, which quiesces every writer (writers hold db_mu_
+  // shared across their whole commit).
+  engine_->SetCommitHook([this](std::string_view core) {
+    enclave_->ChargeHash(core.size() + 32);
+    wal_digest_.Append(core);
+  });
+  if (options_.async_flush) {
+    flush_thread_ = std::thread([this] { FlushWorker(); });
+  }
 }
 
 ElsmDb::~ElsmDb() {
   if (!closed_) (void)Close();
+  StopFlushWorker();  // Close stops it too; needed when Open never finished
 }
 
 Result<std::unique_ptr<ElsmDb>> ElsmDb::Open(
@@ -340,7 +357,7 @@ Status ElsmDb::ReplayWal(uint64_t wal_count, const crypto::Hash256& wal_dig,
     std::string_view record_cursor(records[i]);
     auto record = lsm::Record::DecodeCore(&record_cursor);
     if (!record.ok()) return record.status();
-    last_ts_ = std::max(last_ts_, record.value().ts);
+    last_ts_ = std::max<uint64_t>(last_ts_, record.value().ts);
     if (record.value().ts <= flushed_ts) {
       // Leftover of a flush that persisted its manifest but crashed before
       // truncating the WAL: the record is already in the level stack, so
@@ -546,14 +563,27 @@ Status ElsmDb::UntransformRecord(lsm::Record* record) const {
 
 Status ElsmDb::FlushInternal(bool only_if_full) {
   std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  // Early-out BEFORE demanding the exclusive db lock. Every writer in the
+  // cohort that filled the memtable sees need_flush and lands here; they
+  // serialize on flush_mu_ behind the one doing the work, and once it is
+  // done they must leave without touching db_mu_ — an exclusive acquire
+  // starves under continuous shared-holder (writer) traffic, and a convoy
+  // of them collapses write concurrency to whatever two threads slip
+  // through. Atomic reads suffice here; the check repeats under the
+  // exclusive lock before anything irreversible.
+  if (only_if_full && engine_->memtable_bytes() < options_.memtable_bytes &&
+      engine_->wal_bytes() < wal_bound()) {
+    return Status::Ok();  // another writer flushed while we queued
+  }
   if (options_.background_compaction) {
     // Drain the engine thread before taking db_mu_, so readers only ever
     // wait behind the bounded memtable->L1 merge, never a deep ripple.
     engine_->WaitForCompaction();
   }
   std::unique_lock<std::shared_mutex> lock(db_mu_);
-  if (only_if_full && engine_->memtable_bytes() < options_.memtable_bytes) {
-    return Status::Ok();  // another writer flushed while we queued
+  if (only_if_full && engine_->memtable_bytes() < options_.memtable_bytes &&
+      engine_->wal_bytes() < wal_bound()) {
+    return Status::Ok();  // flushed between the fast-path check and here
   }
   Status s = engine_->Flush();
   if (!s.ok()) return NoteWriteResult(std::move(s));
@@ -585,6 +615,103 @@ Status ElsmDb::FlushInternal(bool only_if_full) {
   lock.unlock();
   if (options_.background_compaction) engine_->ScheduleCompaction();
   return Status::Ok();
+}
+
+Status ElsmDb::MaybeScheduleFlush() {
+  if (!options_.async_flush) return FlushInternal(/*only_if_full=*/true);
+  {
+    std::lock_guard<std::mutex> lock(flush_state_mu_);
+    flush_pending_ = true;
+    flush_cv_.notify_one();
+  }
+  // Back-pressure: fall back to a synchronous flush when the worker cannot
+  // keep up (the active memtable has blown far past its limit) or when the
+  // WAL has outgrown its bound and needs the truncating full flush only
+  // the synchronous path performs.
+  if (engine_->memtable_bytes() >= 4 * options_.memtable_bytes ||
+      engine_->wal_bytes() >= wal_bound()) {
+    return FlushInternal(/*only_if_full=*/true);
+  }
+  return Status::Ok();
+}
+
+Status ElsmDb::AsyncFlushOnce() {
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  if (options_.background_compaction) engine_->WaitForCompaction();
+  uint64_t seal_ts = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    if (closed_) return Status::Ok();
+    // Quiescing writers (they hold db_mu_ shared across their whole
+    // commit) makes the seal a clean cut: every assigned timestamp has
+    // been committed or failed, so seal_ts covers exactly the sealed
+    // records and nothing the fresh active memtable will ever hold.
+    const bool sealed = engine_->SealMemtable();
+    if (!sealed && !engine_->HasImm()) return Status::Ok();
+    seal_ts = last_ts_.load(std::memory_order_relaxed);
+  }
+  // Writers proceed into the fresh active memtable from here on; the
+  // sealed one is immutable and merges without any facade lock held.
+  Status s = engine_->FlushImm();
+  if (!s.ok()) return NoteWriteResult(std::move(s));
+  if (!options_.background_compaction) {
+    s = engine_->MaybeCompact();
+    if (!s.ok()) return NoteWriteResult(std::move(s));
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    if (closed_) return Status::Ok();
+    if (seal_ts > flushed_ts_) flushed_ts_ = seal_ts;
+    if (options_.persist_manifest_on_flush) {
+      // Persist the *live* digest: unlike the synchronous path, the WAL is
+      // not truncated here — concurrent writers appended past the sealed
+      // prefix, so the whole file stays; recovery skips frames at/below
+      // flushed_ts (already in a level) and replays only the newer ones.
+      // The WAL's growth is bounded by the forced synchronous flush in
+      // MaybeScheduleFlush once it exceeds wal_bound().
+      s = PersistManifest();
+      if (!s.ok()) return NoteWriteResult(std::move(s));
+    }
+    engine_->PurgeObsoleteFiles();
+  }
+  if (options_.background_compaction) engine_->ScheduleCompaction();
+  return Status::Ok();
+}
+
+void ElsmDb::FlushWorker() {
+  std::unique_lock<std::mutex> lock(flush_state_mu_);
+  while (true) {
+    flush_cv_.wait(lock, [this] { return flush_pending_ || flush_stop_; });
+    if (flush_stop_) return;
+    flush_pending_ = false;
+    flush_running_ = true;
+    lock.unlock();
+    Status s = AsyncFlushOnce();
+    lock.lock();
+    if (!s.ok() && flush_status_.ok()) flush_status_ = s;
+    flush_running_ = false;
+    flush_done_cv_.notify_all();
+  }
+}
+
+void ElsmDb::StopFlushWorker() {
+  {
+    std::lock_guard<std::mutex> lock(flush_state_mu_);
+    flush_stop_ = true;
+    flush_cv_.notify_one();
+  }
+  if (flush_thread_.joinable()) flush_thread_.join();
+}
+
+Status ElsmDb::WaitForFlush() {
+  if (!options_.async_flush) return Status::Ok();
+  std::unique_lock<std::mutex> lock(flush_state_mu_);
+  flush_done_cv_.wait(lock, [this] {
+    return (!flush_pending_ && !flush_running_) || flush_stop_;
+  });
+  Status s = std::move(flush_status_);
+  flush_status_ = Status::Ok();
+  return s;
 }
 
 Status ElsmDb::PersistAfterBackgroundCompaction() {
@@ -638,7 +765,13 @@ Status ElsmDb::Put(std::string_view key, std::string_view value) {
   const uint64_t start = enclave_->now_ns();
   bool need_flush = false;
   {
-    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    // Shared, not exclusive: concurrent writers serialize on the engine's
+    // commit queue (leader/follower group commit), not on the facade lock.
+    // Exclusive sections (flush/seal/persist/close) still quiesce every
+    // in-flight writer. The WAL digest is maintained by the commit hook
+    // (see the constructor) after the cohort is durable, so a failed
+    // append never leaves the in-enclave digest ahead of the real WAL.
+    std::shared_lock<std::shared_mutex> lock(db_mu_);
     enclave_->ChargeEcall();
     if (degraded()) {
       return Status::CapacityExceeded(
@@ -649,18 +782,12 @@ Status ElsmDb::Put(std::string_view key, std::string_view value) {
     record.key = TransformKey(key);
     record.value = TransformValue(value, record.ts);
     record.type = lsm::RecordType::kValue;
-
-    // Digest only after the engine accepted the record: a failed WAL
-    // append must not leave the in-enclave digest ahead of the real WAL
-    // (a later seal would then read as a truncation attack).
-    const std::string core = record.EncodeCore();
-    enclave_->ChargeHash(core.size() + 32);
     Status s = engine_->Put(std::move(record));
     if (!s.ok()) return NoteWriteResult(std::move(s));
-    wal_digest_.Append(core);
-    need_flush = engine_->memtable_bytes() >= options_.memtable_bytes;
+    need_flush = engine_->memtable_bytes() >= options_.memtable_bytes ||
+                 (options_.async_flush && engine_->wal_bytes() >= wal_bound());
   }
-  Status s = need_flush ? FlushInternal(/*only_if_full=*/true) : Status::Ok();
+  Status s = need_flush ? MaybeScheduleFlush() : Status::Ok();
   RecordOpStat(&OpStats::put, enclave_->now_ns() - start);
   return s;
 }
@@ -669,7 +796,7 @@ Status ElsmDb::Delete(std::string_view key) {
   const uint64_t start = enclave_->now_ns();
   bool need_flush = false;
   {
-    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    std::shared_lock<std::shared_mutex> lock(db_mu_);
     enclave_->ChargeEcall();
     if (degraded()) {
       return Status::CapacityExceeded(
@@ -679,15 +806,12 @@ Status ElsmDb::Delete(std::string_view key) {
     record.ts = ++last_ts_;
     record.key = TransformKey(key);
     record.type = lsm::RecordType::kTombstone;
-
-    const std::string core = record.EncodeCore();
-    enclave_->ChargeHash(core.size() + 32);
     Status s = engine_->Put(std::move(record));
     if (!s.ok()) return NoteWriteResult(std::move(s));
-    wal_digest_.Append(core);
-    need_flush = engine_->memtable_bytes() >= options_.memtable_bytes;
+    need_flush = engine_->memtable_bytes() >= options_.memtable_bytes ||
+                 (options_.async_flush && engine_->wal_bytes() >= wal_bound());
   }
-  Status s = need_flush ? FlushInternal(/*only_if_full=*/true) : Status::Ok();
+  Status s = need_flush ? MaybeScheduleFlush() : Status::Ok();
   RecordOpStat(&OpStats::put, enclave_->now_ns() - start);
   return s;
 }
@@ -696,19 +820,16 @@ Status ElsmDb::Write(const WriteBatch& batch) {
   const uint64_t start = enclave_->now_ns();
   bool need_flush = false;
   {
-    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    std::shared_lock<std::shared_mutex> lock(db_mu_);
     enclave_->ChargeEcall();
     if (degraded()) {
       return Status::CapacityExceeded(
           "store is in read-only degraded mode (call TryResume)");
     }
-    // Group commit: transform + digest every entry under the one lock
-    // acquisition, then hand the whole batch to the engine as a single
-    // WAL append (one world switch) and memtable pass.
+    // The whole batch rides one commit-queue request, so it lands as a
+    // single WAL append (one world switch) and one contiguous digest run.
     std::vector<lsm::Record> records;
-    std::vector<std::string> cores;
     records.reserve(batch.entries.size());
-    cores.reserve(batch.entries.size());
     for (const WriteBatch::Entry& entry : batch.entries) {
       lsm::Record record;
       record.ts = ++last_ts_;
@@ -718,18 +839,14 @@ Status ElsmDb::Write(const WriteBatch& batch) {
       } else {
         record.value = TransformValue(entry.value, record.ts);
       }
-      const std::string core = record.EncodeCore();
-      enclave_->ChargeHash(core.size() + 32);
-      cores.push_back(core);
       records.push_back(std::move(record));
     }
     Status s = engine_->PutBatch(std::move(records));
     if (!s.ok()) return NoteWriteResult(std::move(s));
-    // Digest after the engine accepted the batch (see Put).
-    for (const std::string& core : cores) wal_digest_.Append(core);
-    need_flush = engine_->memtable_bytes() >= options_.memtable_bytes;
+    need_flush = engine_->memtable_bytes() >= options_.memtable_bytes ||
+                 (options_.async_flush && engine_->wal_bytes() >= wal_bound());
   }
-  Status s = need_flush ? FlushInternal(/*only_if_full=*/true) : Status::Ok();
+  Status s = need_flush ? MaybeScheduleFlush() : Status::Ok();
   RecordOpStat(&OpStats::put, enclave_->now_ns() - start);
   return s;
 }
@@ -889,6 +1006,10 @@ Status ElsmDb::Close() {
     std::unique_lock<std::shared_mutex> lock(db_mu_);
     if (closed_) return Status::Ok();
   }
+  // Join the async-flush worker first (it takes flush_mu_ for its flushes,
+  // so it must be gone before we hold that lock across the final persist);
+  // a flush it had pending simply stays in the WAL and replays on reopen.
+  StopFlushWorker();
   // Serialize with in-flight flushes, then stop the engine thread before
   // the final manifest so no compaction (background or a racing flusher's
   // schedule) can run after it is written.

@@ -17,12 +17,14 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "auth/listener.h"
 #include "auth/proof.h"
@@ -108,6 +110,10 @@ class ElsmDb {
   // or its manifest persist hit (immediately Ok when it is off).
   void ScheduleCompaction();
   Status WaitForCompaction();
+  // Async-flush hook (Options::async_flush): blocks until no background
+  // flush is pending or running, then surfaces (and clears) the first
+  // error a background flush hit. Immediately Ok when async flush is off.
+  Status WaitForFlush();
   // Persist and stop; the Fs/platform can be reused to reopen.
   Status Close();
 
@@ -130,7 +136,7 @@ class ElsmDb {
   storage::Fs& fs() { return *fs_; }
   TrustedPlatform& platform() { return *platform_; }
   const Options& options() const { return options_; }
-  uint64_t last_ts() const { return last_ts_; }
+  uint64_t last_ts() const { return last_ts_.load(std::memory_order_relaxed); }
 
   struct OpStats {
     Histogram put;
@@ -187,6 +193,25 @@ class ElsmDb {
   // *before* taking db_mu_ (so readers are never blocked behind a deep
   // merge), flushes, and schedules/runs the ripple per the options.
   Status FlushInternal(bool only_if_full);
+  // Writer-path flush dispatch: synchronous FlushInternal when async_flush
+  // is off; otherwise wakes the flush worker and returns immediately,
+  // falling back to a synchronous flush only under back-pressure (active
+  // memtable 4x over its limit — the worker cannot keep up) or once the
+  // WAL outgrows wal_bound() and needs a truncating full flush.
+  Status MaybeScheduleFlush();
+  // One background flush: seal the active memtable under a short exclusive
+  // section (writers then proceed into a fresh one), flush the sealed
+  // memtable with no facade lock held, and persist a manifest recording
+  // the *live* WAL digest (the WAL is not truncated — concurrent writers
+  // appended past the flushed prefix; recovery skips frames at/below
+  // flushed_ts).
+  Status AsyncFlushOnce();
+  void FlushWorker();
+  void StopFlushWorker();
+  uint64_t wal_bound() const {
+    return options_.max_wal_bytes != 0 ? options_.max_wal_bytes
+                                       : 8 * options_.memtable_bytes;
+  }
   // Engine-thread callback: re-persists the manifest after a ripple pass;
   // errors surface through WaitForCompaction().
   Status PersistAfterBackgroundCompaction();
@@ -250,7 +275,11 @@ class ElsmDb {
   // freshly created file needs one SyncDir). Reset per generation.
   bool edits_dir_synced_ = false;
 
-  uint64_t last_ts_ = 0;
+  // Timestamp oracle. Writers hold db_mu_ *shared* (they serialize on the
+  // engine's commit queue, not here), so the increment must be atomic;
+  // exclusive db_mu_ sections (flush/seal/persist/close) quiesce all
+  // writers and may read it as a stable value.
+  std::atomic<uint64_t> last_ts_{0};
   // Highest timestamp known to be in the level stack (set when a flush
   // lands, persisted in the manifest). Recovery re-inserts only WAL frames
   // above it — frames at/below it survive a crash between a flush's
@@ -264,6 +293,22 @@ class ElsmDb {
   // exclusive db_mu_ sections (or flush_mu_ for background persists).
   std::atomic<bool> degraded_{false};
   OpStats op_stats_;
+
+  // --- async flush worker (Options::async_flush) ---------------------------
+  // One background thread drains sealed memtables so writers never stall on
+  // a flush. flush_state_mu_ guards only the handshake flags; the worker
+  // takes flush_mu_ (like every flusher) for the flush itself.
+  std::thread flush_thread_;
+  std::mutex flush_state_mu_;
+  std::condition_variable flush_cv_;       // wakes the worker
+  std::condition_variable flush_done_cv_;  // wakes WaitForFlush
+  bool flush_pending_ = false;
+  bool flush_running_ = false;
+  bool flush_stop_ = false;
+  // First error a background flush hit; surfaced and cleared by
+  // WaitForFlush (writers otherwise keep succeeding — their WAL frames are
+  // durable regardless of whether the flush behind them landed).
+  Status flush_status_;
 };
 
 }  // namespace elsm

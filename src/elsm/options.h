@@ -50,6 +50,32 @@ struct Options {
   // Permanent classes — Corruption, AuthFailure, CapacityExceeded, plain
   // IOError — are never retried. max_attempts <= 1 disables retries.
   common::RetryPolicy io_retry;
+  // Group-commit linger window (microseconds). Concurrent writers already
+  // share one WAL append + fsync per commit cohort (the first queued writer
+  // acts as leader for everyone queued behind it); with 0 the leader syncs
+  // as soon as it reaches the barrier, >0 lets it linger up to the window
+  // to absorb straggling writers into the same fsync. Larger windows mean
+  // fewer fsyncs per op under load but add up to the window of latency to
+  // lightly-contended writes. No effect on durability: a write is never
+  // acknowledged before its frame is synced (when sync_writes is set), so
+  // the window only shapes latency/throughput, not the crash contract.
+  // Ignored when sync_writes is false.
+  uint64_t wal_sync_interval_us = 0;
+  // Move memtable sealing off the writer path: when the active memtable
+  // fills, writers seal it and roll to a fresh one, and the sealed
+  // (immutable) memtable flushes on a background worker — a Put never
+  // stalls behind a memtable->L1 merge. Off by default: the synchronous
+  // path flushes inline and truncates the WAL every flush, which is the
+  // deterministic behavior most tests and single-threaded callers want.
+  // With async flush the WAL is truncated only by a forced synchronous
+  // flush once it outgrows max_wal_bytes (manifests persisted by the
+  // background flush record the live WAL digest instead, and recovery
+  // skips frames already covered by a flushed level).
+  bool async_flush = false;
+  // WAL growth bound for async_flush (bytes); when the acknowledged WAL
+  // exceeds it, the next write triggers a synchronous truncating flush.
+  // 0 = 8 * memtable_bytes.
+  uint64_t max_wal_bytes = 0;
 
   // --- LSM geometry (defaults are the paper's setup scaled /64) ------------
   uint64_t memtable_bytes = 64 << 10;

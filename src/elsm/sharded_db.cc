@@ -608,7 +608,11 @@ Status ShardedDb::Write(const ElsmDb::WriteBatch& batch) {
   }
   // Each sub-batch is one shard group commit (own WAL append + memtable
   // pass + any auto-flush it triggers); shards share no locks, so the
-  // sub-batches proceed fully independently on the pool.
+  // sub-batches proceed fully independently on the pool. Per-shard commit
+  // queues compose with the fan-out: every shard runs its own
+  // leader/follower cohort over its own WAL, so concurrent ShardedDb
+  // writers amortize fsyncs within each shard while different shards sync
+  // in parallel (Options::wal_sync_interval_us applies per shard).
   return FanOut(targets, [&](size_t, uint32_t shard) {
     return shards_[shard]->Write(parts[shard]);
   });

@@ -159,85 +159,146 @@ Status LsmEngine::TruncateWalTail(uint64_t committed_bytes) {
 }
 
 Status LsmEngine::Put(Record record) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  ++stats_.puts;
-  const std::string core = record.EncodeCore();
-  // w3: append to the WAL outside the enclave (the world switch is group-
-  // committed across writers; its amortized share lives in wal_append_ns),
-  // then make it durable before acknowledging (Fs::Sync contract). A
-  // transient fault anywhere in the sequence marks the tail dirty — the
-  // unacknowledged frame may sit there torn or unsynced — and the retry
-  // truncates back to the committed boundary before appending again, so
-  // the WAL never accretes garbage mid-stream. A clean error after
-  // exhaustion leaves the record out of both WAL and memtable: the op
-  // failed atomically and a later attempt starts from the repaired tail.
-  Status s = RetryIo([&]() -> Status {
-    Status rs = RepairWalTailLocked();
-    if (!rs.ok()) return rs;
-    rs = wal_.Append(core);
-    if (!rs.ok()) {
-      wal_dirty_ = true;
-      return rs;
-    }
-    if (options_.sync_writes) {
-      rs = SyncWal();
-      if (!rs.ok()) {
-        wal_dirty_ = true;
-        return rs;
-      }
-    }
-    wal_committed_bytes_ += core.size() + storage::kWalFrameOverhead;
-    return Status::Ok();
-  });
-  if (!s.ok()) return s;
-  // w1: insert into the L0 write buffer inside the enclave.
-  const uint64_t size = record.ByteSize() + 64;
-  enclave_->AccessRegion(memtable_region_,
-                         memtable_used_ % options_.memtable_bytes, size);
-  memtable_used_ += record.ByteSize() + 32;
-  memtable_->Insert(std::move(record));
-  return Status::Ok();
+  std::vector<Record> one;
+  one.push_back(std::move(record));
+  return CommitGroup(&one);
 }
 
 Status LsmEngine::PutBatch(std::vector<Record> records) {
   if (records.empty()) return Status::Ok();
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  stats_.puts += records.size();
-  std::vector<std::string> cores;
-  cores.reserve(records.size());
-  uint64_t frame_bytes = 0;
-  for (const Record& record : records) {
-    cores.push_back(record.EncodeCore());
-    frame_bytes += cores.back().size() + storage::kWalFrameOverhead;
+  return CommitGroup(&records);
+}
+
+namespace {
+// Cohort size cap: a lingering leader stops absorbing stragglers here so a
+// single fsync never covers an unbounded queue (bounds both latency for the
+// earliest waiter and the repair truncation span on failure).
+constexpr size_t kMaxCommitCohort = 128;
+}  // namespace
+
+Status LsmEngine::CommitGroup(std::vector<Record>* records) {
+  CommitRequest req;
+  req.records = records;
+  req.cores.reserve(records->size());
+  for (const Record& record : *records) {
+    req.cores.push_back(record.EncodeCore());
+    req.framed_bytes += req.cores.back().size() + storage::kWalFrameOverhead;
   }
-  // w3, group commit: one WAL append (one world switch) covers the batch.
-  // Same retry/tail-repair discipline as Put — the whole batch commits or
-  // none of it does (the repair truncate drops a partially landed group).
+
+  std::unique_lock<std::mutex> queue_lock(commit_mu_);
+  commit_queue_.push_back(&req);
+  commit_join_cv_.notify_one();  // a lingering leader absorbs this arrival
+  while (!req.done && commit_queue_.front() != &req) {
+    req.cv.wait(queue_lock);
+  }
+  if (req.done) return req.status;  // a leader carried this request
+
+  // This writer leads the cohort. With a linger window, wait for stragglers
+  // before the barrier: each joiner rides the same fsync for free.
+  if (options_.wal_sync_interval_us > 0 && options_.sync_writes) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(options_.wal_sync_interval_us);
+    while (commit_queue_.size() < kMaxCommitCohort &&
+           commit_join_cv_.wait_until(queue_lock, deadline) !=
+               std::cv_status::timeout) {
+    }
+  }
+  const size_t cohort_size = std::min(commit_queue_.size(), kMaxCommitCohort);
+  std::vector<CommitRequest*> cohort(commit_queue_.begin(),
+                                     commit_queue_.begin() + cohort_size);
+  // The cohort stays in the queue while its I/O runs: arrivals line up
+  // behind it (front != them, so they wait) and form the next cohort.
+  queue_lock.unlock();
+
+  const Status s = CommitCohort(cohort);
+
+  queue_lock.lock();
+  for (size_t i = 0; i < cohort_size; ++i) {
+    CommitRequest* follower = commit_queue_.front();
+    commit_queue_.pop_front();
+    if (follower != &req) {
+      follower->status = s;
+      follower->done = true;
+      follower->cv.notify_one();
+    }
+  }
+  if (!commit_queue_.empty()) commit_queue_.front()->cv.notify_one();
+  return s;
+}
+
+Status LsmEngine::CommitCohort(const std::vector<CommitRequest*>& cohort) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string_view> payloads;
+  uint64_t framed_bytes = 0;
+  for (const CommitRequest* member : cohort) {
+    for (const std::string& core : member->cores) payloads.push_back(core);
+    framed_bytes += member->framed_bytes;
+  }
+  // w3: append the whole cohort to the WAL outside the enclave as one frame
+  // group (the world switch and the fsync are group-committed across
+  // writers), then make it durable before acknowledging anyone (Fs::Sync
+  // contract). A transient fault anywhere in the sequence marks the tail
+  // dirty — the unacknowledged frames may sit there torn or unsynced — and
+  // the retry truncates back to the committed boundary before appending
+  // again, so the WAL never accretes garbage mid-stream. A clean error
+  // after exhaustion leaves every cohort record out of both WAL and
+  // memtable: the cohort failed atomically and a later attempt starts from
+  // the repaired tail.
   Status s = RetryIo([&]() -> Status {
     Status rs = RepairWalTailLocked();
     if (!rs.ok()) return rs;
-    rs = wal_.AppendBatch(cores);
+    rs = wal_.AppendBatch(payloads);
     if (!rs.ok()) {
       wal_dirty_ = true;
       return rs;
     }
     if (options_.sync_writes) {
-      rs = SyncWal();  // one fsync covers the whole group commit
+      rs = SyncWal();  // ONE fsync acknowledges the whole cohort
       if (!rs.ok()) {
         wal_dirty_ = true;
         return rs;
       }
     }
-    wal_committed_bytes_ += frame_bytes;
+    wal_committed_bytes_ += framed_bytes;
     return Status::Ok();
   });
-  if (!s.ok()) return s;
-  for (Record& record : records) {
-    const uint64_t size = record.ByteSize() + 64;
-    enclave_->AccessRegion(memtable_region_,
-                           memtable_used_ % options_.memtable_bytes, size);
-    memtable_used_ += record.ByteSize() + 32;
-    memtable_->Insert(std::move(record));
+  if (!s.ok()) {
+    for (const CommitRequest* member : cohort) {
+      for (const Record& record : *member->records) {
+        if (record.type == RecordType::kTombstone) {
+          ++stats_.failed_deletes;
+        } else {
+          ++stats_.failed_puts;
+        }
+      }
+    }
+    return s;
+  }
+  ++stats_.group_commits;
+  stats_.group_commit_records += payloads.size();
+  // w1: insert into the L0 write buffer inside the enclave, in WAL order.
+  // The commit hook fires here too — after durability, before any ack —
+  // so the facade's digest chain follows the WAL byte order exactly.
+  for (CommitRequest* member : cohort) {
+    size_t core_idx = 0;
+    for (Record& record : *member->records) {
+      if (commit_hook_) commit_hook_(member->cores[core_idx]);
+      ++core_idx;
+      const uint64_t size = record.ByteSize() + kMemtableEntryOverhead;
+      enclave_->AccessRegion(
+          memtable_region_,
+          memtable_used_.load(std::memory_order_relaxed) %
+              options_.memtable_bytes,
+          size);
+      memtable_used_.fetch_add(size, std::memory_order_relaxed);
+      if (record.type == RecordType::kTombstone) {
+        ++stats_.deletes;
+      } else {
+        ++stats_.puts;
+      }
+      memtable_->Insert(std::move(record));
+    }
   }
   return Status::Ok();
 }
@@ -247,9 +308,13 @@ Result<GetResponse> LsmEngine::Get(std::string_view key, uint64_t ts_max) {
   PurgeDeadCaches();
   GetResponse resp;
   {
-    // L0: the in-enclave memtable is trusted; a hit stops the search. The
-    // shared lock covers only this probe plus the snapshot grab — the level
-    // search below runs lock-free against the immutable snapshot.
+    // L0: the in-enclave memtables are trusted; a hit stops the search. The
+    // active memtable is probed first, then the sealed (imm) one — every
+    // imm record is strictly older than every active record (the seal is a
+    // quiesced watermark), so an active hit is always the newest visible
+    // version. The shared lock covers only these probes plus the snapshot
+    // grab — the level search below runs lock-free against the immutable
+    // snapshot.
     std::shared_lock<std::shared_mutex> lock(mu_);
     enclave_->AccessRegion(memtable_region_,
                            KeyProbe(key) % options_.memtable_bytes, 128);
@@ -257,6 +322,15 @@ Result<GetResponse> LsmEngine::Get(std::string_view key, uint64_t ts_max) {
       resp.memtable_hit = *r;
       resp.snapshot = version_;
       return resp;
+    }
+    if (imm_ != nullptr) {
+      enclave_->AccessRegion(memtable_region_,
+                             KeyProbe(key) % options_.memtable_bytes, 128);
+      if (const Record* r = imm_->Find(key, ts_max)) {
+        resp.memtable_hit = *r;
+        resp.snapshot = version_;
+        return resp;
+      }
     }
     resp.snapshot = version_;
   }
@@ -466,8 +540,10 @@ Result<ScanResponse> LsmEngine::Scan(std::string_view k1,
   PurgeDeadCaches();
   ScanResponse resp;
   {
-    // L0: trusted scan of the memtable (newest visible version per key);
-    // the level walk below is lock-free against the snapshot.
+    // L0: trusted scan of the memtables (newest visible version per key) —
+    // active first, then the sealed one for keys the active table does not
+    // hold (active versions are strictly newer per key, see Get); the
+    // level walk below is lock-free against the snapshot.
     std::shared_lock<std::shared_mutex> lock(mu_);
     enclave_->AccessRegion(memtable_region_, 0, options_.memtable_bytes / 4);
     std::string last_key;
@@ -479,6 +555,34 @@ Result<ScanResponse> LsmEngine::Scan(std::string_view k1,
       resp.memtable_records.push_back(r);
       last_key = r.key;
       have_last = true;
+    }
+    if (imm_ != nullptr) {
+      std::vector<Record> merged;
+      merged.reserve(resp.memtable_records.size());
+      auto active_it = resp.memtable_records.begin();
+      last_key.clear();
+      have_last = false;
+      for (auto it = imm_->NewIterator(); it.Valid(); it.Next()) {
+        const Record& r = it.record();
+        if (r.key < k1 || (have_last && r.key == last_key)) continue;
+        if (r.key > k2) break;
+        while (active_it != resp.memtable_records.end() &&
+               active_it->key < r.key) {
+          merged.push_back(std::move(*active_it++));
+        }
+        if (active_it != resp.memtable_records.end() &&
+            active_it->key == r.key) {
+          merged.push_back(std::move(*active_it++));  // active wins the key
+        } else {
+          merged.push_back(r);
+        }
+        last_key = r.key;
+        have_last = true;
+      }
+      while (active_it != resp.memtable_records.end()) {
+        merged.push_back(std::move(*active_it++));
+      }
+      resp.memtable_records = std::move(merged);
     }
     resp.snapshot = version_;
   }
@@ -584,6 +688,55 @@ Status LsmEngine::Flush() {
   return FlushInternal();
 }
 
+bool LsmEngine::SealMemtable() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (imm_ != nullptr || memtable_->empty()) return false;
+  imm_ = std::move(memtable_);
+  imm_used_ = memtable_used_.exchange(0, std::memory_order_relaxed);
+  memtable_ = std::make_unique<SkipList>();
+  return true;
+}
+
+Status LsmEngine::FlushImm() {
+  std::lock_guard<std::mutex> cl(compaction_mu_);
+  return FlushImmInternal();
+}
+
+bool LsmEngine::HasImm() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return imm_ != nullptr;
+}
+
+Status LsmEngine::FlushImmInternal() {
+  std::vector<RawEntry> run;
+  {
+    // Writers keep committing into the fresh active memtable throughout;
+    // the sealed one is immutable, so the shared lock only fences the
+    // pointer read against a concurrent RestoreManifest.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (imm_ == nullptr) return Status::Ok();
+    run.reserve(imm_->size());
+    for (auto it = imm_->NewIterator(); it.Valid(); it.Next()) {
+      RawEntry e;
+      e.record = it.record();
+      e.core = e.record.EncodeCore();
+      run.push_back(std::move(e));
+    }
+  }
+  stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  // w2: stream the sorted buffer out of the enclave.
+  enclave_->AccessRegion(memtable_region_, 0, imm_used_);
+
+  MergeSource source;
+  source.depth = -1;
+  source.run = std::move(run);
+  std::vector<MergeSource> sources;
+  sources.push_back(std::move(source));
+  const bool as_new_level = !options_.compaction_enabled;
+  return CompactStep(std::move(sources), /*target_pos=*/0, as_new_level,
+                     MemtableReset::kImm);
+}
+
 Status LsmEngine::MaybeCompact() {
   if (!options_.compaction_enabled) return Status::Ok();
   std::lock_guard<std::mutex> cl(compaction_mu_);
@@ -596,6 +749,11 @@ Status LsmEngine::CompactAll() {
 }
 
 Status LsmEngine::FlushInternal() {
+  // Drain any sealed-but-unflushed memtable first: its records are older
+  // than the active ones, and flushing it as its own run keeps the
+  // newest-first level order intact.
+  Status s = FlushImmInternal();
+  if (!s.ok()) return s;
   if (memtable_->empty()) return Status::Ok();
   stats_.flushes.fetch_add(1, std::memory_order_relaxed);
 
@@ -613,7 +771,8 @@ Status LsmEngine::FlushInternal() {
     }
   }
   // w2: stream the sorted buffer out of the enclave.
-  enclave_->AccessRegion(memtable_region_, 0, memtable_used_);
+  enclave_->AccessRegion(memtable_region_, 0,
+                         memtable_used_.load(std::memory_order_relaxed));
 
   MergeSource source;
   source.depth = -1;
@@ -622,7 +781,7 @@ Status LsmEngine::FlushInternal() {
   sources.push_back(std::move(source));
   const bool as_new_level = !options_.compaction_enabled;
   return CompactStep(std::move(sources), /*target_pos=*/0, as_new_level,
-                     /*reset_memtable=*/true);
+                     MemtableReset::kActive);
 }
 
 Status LsmEngine::MaybeCompactInternal() {
@@ -633,7 +792,7 @@ Status LsmEngine::MaybeCompactInternal() {
     std::vector<MergeSource> sources(1);
     sources[0].depth = static_cast<int>(i);
     Status s = CompactStep(std::move(sources), i + 1, /*insert_as_new=*/false,
-                           /*reset_memtable=*/false);
+                           MemtableReset::kNone);
     if (!s.ok()) return s;
   }
   return Status::Ok();
@@ -666,7 +825,7 @@ Status LsmEngine::CompactAllInternal() {
     std::vector<MergeSource> sources(1);
     sources[0].depth = static_cast<int>(first);
     Status s = CompactStep(std::move(sources), target, /*insert_as_new=*/false,
-                           /*reset_memtable=*/false);
+                           MemtableReset::kNone);
     if (!s.ok()) return s;
   }
 }
@@ -885,7 +1044,7 @@ Status LsmEngine::BufferedCompaction(const Version& base,
 
 Status LsmEngine::CompactStep(std::vector<MergeSource> sources,
                               size_t target_pos, bool insert_as_new,
-                              bool reset_memtable) {
+                              MemtableReset reset) {
   stats_.compactions.fetch_add(1, std::memory_order_relaxed);
   auto base = SnapshotVersion();
   const std::vector<LevelMeta>& levels = base->levels();
@@ -986,8 +1145,7 @@ Status LsmEngine::CompactStep(std::vector<MergeSource> sources,
   out_op.pos = static_cast<uint32_t>(output_pos);
   out_op.level = new_levels[output_pos];
   edit.ops.push_back(std::move(out_op));
-  InstallVersion(std::move(new_levels), reset_memtable, obsolete,
-                 edit.Encode());
+  InstallVersion(std::move(new_levels), reset, obsolete, edit.Encode());
   return Status::Ok();
 }
 
@@ -1061,16 +1219,19 @@ void LsmEngine::AbortLevel(LevelBuild* build) {
 }
 
 void LsmEngine::InstallVersion(std::vector<LevelMeta> levels,
-                               bool reset_memtable,
+                               MemtableReset reset,
                                const std::vector<std::string>& obsolete_files,
                                std::string encoded_edit) {
   auto next = std::make_shared<Version>(std::move(levels), tracker_);
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     version_ = std::move(next);
-    if (reset_memtable) {
+    if (reset == MemtableReset::kActive) {
       memtable_ = std::make_unique<SkipList>();
-      memtable_used_ = 0;
+      memtable_used_.store(0, std::memory_order_relaxed);
+    } else if (reset == MemtableReset::kImm) {
+      imm_.reset();
+      imm_used_ = 0;
     }
     if (!encoded_edit.empty()) {
       edit_log_.emplace_back(++edit_seq_, std::move(encoded_edit));
@@ -1215,7 +1376,9 @@ Status LsmEngine::RestoreManifest(std::string_view manifest) {
     std::unique_lock<std::shared_mutex> lock(mu_);
     version_ = std::move(next);
     memtable_ = std::make_unique<SkipList>();
-    memtable_used_ = 0;
+    memtable_used_.store(0, std::memory_order_relaxed);
+    imm_.reset();
+    imm_used_ = 0;
     edit_seq_ = 0;
     edit_log_.clear();
   }
@@ -1281,10 +1444,12 @@ Result<storage::WalContents> LsmEngine::ReadWalRecords() const {
 
 Status LsmEngine::ReinsertFromWal(Record record) {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  const uint64_t size = record.ByteSize() + 64;
-  enclave_->AccessRegion(memtable_region_,
-                         memtable_used_ % options_.memtable_bytes, size);
-  memtable_used_ += record.ByteSize() + 32;
+  const uint64_t size = record.ByteSize() + kMemtableEntryOverhead;
+  enclave_->AccessRegion(
+      memtable_region_,
+      memtable_used_.load(std::memory_order_relaxed) % options_.memtable_bytes,
+      size);
+  memtable_used_.fetch_add(size, std::memory_order_relaxed);
   memtable_->Insert(std::move(record));
   return Status::Ok();
 }
@@ -1325,9 +1490,5 @@ Status LsmEngine::ResetWal() {
   return result;
 }
 
-uint64_t LsmEngine::wal_bytes() const {
-  auto size = fs_->FileSize(options_.name + "/wal");
-  return size.ok() ? size.value() : 0;
-}
 
 }  // namespace elsm::lsm

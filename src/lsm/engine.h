@@ -35,6 +35,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -62,6 +63,14 @@
 namespace elsm::lsm {
 
 enum class ReadPathKind { kMmap, kBuffer };
+
+// Accounted bytes per memtable entry beyond the record payload (skiplist
+// node + height vector slack). Both the simulated enclave access charge and
+// the memtable_used_ occupancy advance by record.ByteSize() + this one
+// constant, so the charged access pattern can never drift from the
+// accounted occupancy (they briefly disagreed, +64 charged vs +32
+// accounted).
+inline constexpr uint64_t kMemtableEntryOverhead = 32;
 
 struct LsmOptions {
   std::string name = "db";
@@ -101,6 +110,16 @@ struct LsmOptions {
   // and WAL reset. Backoff is charged on the simulated clock, so retried
   // runs stay deterministic. max_attempts <= 1 disables retries.
   common::RetryPolicy io_retry;
+  // Group-commit linger window. Concurrent writers always share one WAL
+  // append + fsync (the first writer at the barrier leads the cohort); with
+  // a non-zero window the leader additionally waits up to this many
+  // wall-clock microseconds for stragglers before issuing the sync, trading
+  // per-op latency for larger cohorts (bigger fsync amortization). 0 =
+  // sync as soon as a leader forms — cohorts still batch whatever queued
+  // while the previous cohort's fsync was in flight. Only meaningful with
+  // sync_writes; the crash window it opens is bounded by the window itself
+  // (an unsynced cohort is never acknowledged).
+  uint64_t wal_sync_interval_us = 0;
 };
 
 // Everything a CompactionListener returns to seal a freshly built level.
@@ -217,10 +236,23 @@ struct ScanResponse {
 };
 
 struct EngineStats {
+  // Write-path counters: acknowledged records only, split by kind. A write
+  // whose WAL commit failed (retry budget exhausted) lands in the failed_*
+  // twin instead — the counters are bumped by the commit leader *after* the
+  // cohort's fsync, so an unacknowledged write can never inflate them.
+  // Plain (non-atomic) because every bump happens under the exclusive
+  // engine write lock.
   uint64_t puts = 0;
+  uint64_t deletes = 0;
+  uint64_t failed_puts = 0;
+  uint64_t failed_deletes = 0;
+  // Group-commit telemetry: cohorts committed (one WAL barrier each) and
+  // the records they carried. records / commits is the mean cohort size —
+  // the fsync amortization factor concurrent writers actually achieved.
+  uint64_t group_commits = 0;
+  uint64_t group_commit_records = 0;
   // gets/scans are bumped on the lock-free read path; the compaction
-  // counters on the background thread — all of those must be atomic. puts
-  // stays plain under the exclusive write lock.
+  // counters on the background thread — all of those must be atomic.
   std::atomic<uint64_t> gets = 0;
   std::atomic<uint64_t> scans = 0;
   std::atomic<uint64_t> flushes = 0;
@@ -260,20 +292,55 @@ class LsmEngine {
 
   void SetListener(CompactionListener* listener) { listener_ = listener; }
 
+  // Invoked once per record, in WAL byte order, after the cohort holding it
+  // is durable (fsynced under sync_writes) and before its writer is
+  // acknowledged. Runs under the exclusive engine write lock, so calls are
+  // totally ordered and match the WAL exactly — the facade chains its
+  // in-enclave WAL digest here. Set once before concurrent use.
+  using CommitHook = std::function<void(std::string_view core)>;
+  void SetCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
   // Appends to the WAL and inserts into the memtable. The caller assigns
   // timestamps and decides when to Flush (memtable_bytes() tells how full
   // L0 is). Tombstones are Puts with RecordType::kTombstone.
+  //
+  // Concurrent writers group-commit on the WAL fsync barrier
+  // (leader/follower, LevelDB-style): each writer enqueues its encoded
+  // records under a short queue lock; the front writer becomes leader,
+  // appends the whole cohort as one frame group, pays ONE SyncWal() for
+  // everyone, advances the committed offset once, and wakes the followers
+  // with the shared Status. The cohort commits or fails atomically: a
+  // failed leader append/sync marks the tail dirty and the retry (or the
+  // next cohort) truncates back to the committed boundary, so no follower
+  // is ever acknowledged on an unsynced frame.
   Status Put(Record record);
-  // Group commit: one lock acquisition and one WAL append for the whole
-  // batch (the world switch amortizes across the records).
+  // Batched variant: the batch joins a cohort as one unit (one lock
+  // acquisition and one WAL append cover it even without other writers).
   Status PutBatch(std::vector<Record> records);
 
   Result<GetResponse> Get(std::string_view key, uint64_t ts_max);
   Result<ScanResponse> Scan(std::string_view k1, std::string_view k2);
 
-  // Memtable -> disk. With compaction enabled the run merges into the
-  // shallowest level; otherwise it becomes a new level on top of the stack.
+  // Memtable -> disk (immutable memtable first, then the active one). With
+  // compaction enabled the run merges into the shallowest level; otherwise
+  // it becomes a new level on top of the stack. The caller must have
+  // quiesced writers (the facade holds its exclusive lock).
   Status Flush();
+  // --- off-writer-path flush handoff ---------------------------------------
+  // Seals the active memtable: one pointer swap under the exclusive engine
+  // lock turns it into the immutable memtable (imm) and installs a fresh
+  // active one, so writers roll over instead of stalling behind the flush.
+  // Returns false (and does nothing) when the active memtable is empty or
+  // an earlier seal has not been flushed yet. The caller must have
+  // quiesced writers for the duration of the swap (exclusive facade lock):
+  // that is what makes its captured timestamp watermark sound.
+  bool SealMemtable();
+  // Merges the sealed memtable into the level stack. Runs under the
+  // compaction mutex only — concurrent writers (into the fresh active
+  // memtable) and readers proceed throughout. No-op without a pending imm.
+  Status FlushImm();
+  // True while a sealed memtable is awaiting its flush.
+  bool HasImm() const;
   // Merges any level exceeding its capacity into the next one (rippling).
   Status MaybeCompact();
   // Force-merges the whole stack into a single deepest level.
@@ -304,7 +371,15 @@ class LsmEngine {
   const std::vector<LevelMeta>& levels() const { return version_->levels(); }
   std::shared_ptr<const Version> current_version() const;
   size_t memtable_entries() const { return memtable_->size(); }
-  uint64_t memtable_bytes() const { return memtable_used_; }
+  uint64_t memtable_bytes() const {
+    return memtable_used_.load(std::memory_order_relaxed);
+  }
+  // Acknowledged (committed-boundary) WAL bytes. Lock-free; the facade's
+  // async-flush path uses it to force a synchronous truncating flush when
+  // the WAL outgrows its bound.
+  uint64_t wal_bytes() const {
+    return wal_committed_bytes_.load(std::memory_order_relaxed);
+  }
   const EngineStats& stats() const { return stats_; }
   const LsmOptions& options() const { return options_; }
   storage::Fs& fs() { return *fs_; }
@@ -339,7 +414,6 @@ class LsmEngine {
   // Reinserts a WAL record into the memtable without re-appending it.
   Status ReinsertFromWal(Record record);
   Status ResetWal();
-  uint64_t wal_bytes() const;
   // Recovery-side tail repair: drops WAL bytes past `committed_bytes` (the
   // well-formed prefix ReadWal accepted) so post-recovery appends never
   // land behind a torn frame, and primes the committed-offset tracking the
@@ -402,16 +476,39 @@ class LsmEngine {
   std::unique_ptr<RunIterator> MakeSourceIterator(const Version& base,
                                                   MergeSource source) const;
 
+  // Which in-memory table a flush-style CompactStep drains: the active
+  // memtable, the sealed (immutable) one, or neither (pure compaction).
+  enum class MemtableReset { kNone, kActive, kImm };
+
+  // --- group commit core ----------------------------------------------------
+  // One writer's stake in a commit cohort (lives on the writer's stack).
+  struct CommitRequest {
+    std::vector<Record>* records = nullptr;  // moved into the memtable by
+                                             // the leader on success
+    std::vector<std::string> cores;          // encoded payloads, WAL order
+    uint64_t framed_bytes = 0;
+    Status status;
+    bool done = false;
+    std::condition_variable cv;
+  };
+  // The shared Put/PutBatch path: enqueue, lead or follow, return the
+  // cohort's shared Status.
+  Status CommitGroup(std::vector<Record>* records);
+  // Leader body: one AppendBatch + one SyncWal for the whole cohort under
+  // the exclusive write lock, then hook + memtable insert per record.
+  Status CommitCohort(const std::vector<CommitRequest*>& cohort);
+
   // --- compaction core (callers hold compaction_mu_) -----------------------
   Status FlushInternal();
+  Status FlushImmInternal();
   Status MaybeCompactInternal();
   Status CompactAllInternal();
   // Merges `sources` (search-order-shallower first) plus — unless
   // insert_as_new — the level at `target_pos` into a fresh level installed
-  // per the legacy position rules. reset_memtable empties L0 atomically with
-  // the version swap (the flush path).
+  // per the legacy position rules. `reset` empties the named in-memory
+  // table atomically with the version swap (the flush paths).
   Status CompactStep(std::vector<MergeSource> sources, size_t target_pos,
-                     bool insert_as_new, bool reset_memtable);
+                     bool insert_as_new, MemtableReset reset);
   Status StreamCompaction(const Version& base, std::vector<MergeSource> sources,
                           std::vector<int> depths, bool to_bottom,
                           LevelBuild* build, CompactionSeal* seal);
@@ -427,7 +524,7 @@ class LsmEngine {
   // `encoded_edit` (when non-empty) is logged under the same exclusive
   // section as the version swap, so the edit sequence observes installs in
   // publication order.
-  void InstallVersion(std::vector<LevelMeta> levels, bool reset_memtable,
+  void InstallVersion(std::vector<LevelMeta> levels, MemtableReset reset,
                       const std::vector<std::string>& obsolete_files,
                       std::string encoded_edit = std::string());
   void PurgeDeadCaches();
@@ -442,13 +539,33 @@ class LsmEngine {
   std::shared_ptr<storage::Fs> fs_;
   CompactionListener* listener_ = nullptr;
 
-  // mu_ protects the memtable and the version pointer swap; readers hold it
-  // only while probing the memtable and copying the pointer. compaction_mu_
-  // serializes structural changes (flush/compaction/restore) end to end.
+  // mu_ protects the memtables and the version pointer swap; readers hold
+  // it only while probing the memtables and copying the pointer.
+  // compaction_mu_ serializes structural changes (flush/compaction/restore)
+  // end to end. commit_mu_ (below) orders writers into cohorts *before*
+  // they touch mu_ — only the cohort leader ever takes mu_ exclusively.
   mutable std::shared_mutex mu_;
   std::mutex compaction_mu_;
   std::unique_ptr<SkipList> memtable_;
-  uint64_t memtable_used_ = 0;
+  // Sealed-but-not-yet-flushed memtable (SealMemtable/FlushImm). Reads
+  // probe it after the active memtable (its records are strictly older);
+  // guarded by mu_ like the active one.
+  std::unique_ptr<SkipList> imm_;
+  uint64_t imm_used_ = 0;
+  // Atomic: advanced by the commit leader under exclusive mu_, but read
+  // lock-free by the facade's flush-trigger check on concurrent writers.
+  std::atomic<uint64_t> memtable_used_{0};
+
+  // --- group-commit queue ---------------------------------------------------
+  // Writers enqueue under commit_mu_ and park on their request's cv. The
+  // front request's owner is the leader: it may linger (wal_sync_interval_us)
+  // on commit_join_cv_ to absorb stragglers, then commits the whole queue
+  // prefix it captured. The cohort stays in the queue while its I/O runs —
+  // arrivals during the fsync line up behind it as the next cohort.
+  std::mutex commit_mu_;
+  std::condition_variable commit_join_cv_;
+  std::deque<CommitRequest*> commit_queue_;
+  CommitHook commit_hook_;
   std::shared_ptr<FileTracker> tracker_;
   std::shared_ptr<const Version> version_;
   std::atomic<uint64_t> next_file_no_ = 1;
@@ -470,8 +587,10 @@ class LsmEngine {
   // it would be unreachable to ReadWal — and would diverge the facade's
   // in-enclave WAL digest into a spurious AuthFailure on recovery. The
   // next append (or recovery) truncates back to the committed offset
-  // first. Guarded by the exclusive write lock (mu_).
-  uint64_t wal_committed_bytes_ = 0;
+  // first. Mutated under the exclusive write lock (mu_); atomic so the
+  // facade's lock-free WAL-growth bound check (wal_bytes()) can read it
+  // from concurrent writer threads.
+  std::atomic<uint64_t> wal_committed_bytes_{0};
   bool wal_dirty_ = false;
   std::unique_ptr<storage::ReadBuffer> read_buffer_;
   mutable std::mutex mmaps_mu_;

@@ -31,12 +31,17 @@ Status WalWriter::Append(std::string_view payload) {
 }
 
 Status WalWriter::AppendBatch(const std::vector<std::string>& payloads) {
+  std::vector<std::string_view> views(payloads.begin(), payloads.end());
+  return AppendBatch(views);
+}
+
+Status WalWriter::AppendBatch(const std::vector<std::string_view>& payloads) {
   if (payloads.empty()) return Status::Ok();
   size_t total = 0;
-  for (const std::string& payload : payloads) total += payload.size() + 8;
+  for (std::string_view payload : payloads) total += payload.size() + 8;
   std::string frames;
   frames.reserve(total);
-  for (const std::string& payload : payloads) AppendFrame(&frames, payload);
+  for (std::string_view payload : payloads) AppendFrame(&frames, payload);
   return fs_->Append(name_, frames);
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -25,8 +26,11 @@ class WalWriter {
 
   Status Append(std::string_view payload);
   // Group commit: frames every payload but issues a single filesystem
-  // append, so the (simulated) world switch is paid once per batch.
+  // append, so the (simulated) world switch is paid once per batch. The
+  // string_view overload lets the engine's commit leader splice a whole
+  // cohort's payloads (owned by the individual writers) without copying.
   Status AppendBatch(const std::vector<std::string>& payloads);
+  Status AppendBatch(const std::vector<std::string_view>& payloads);
   // Durability barrier: appended frames survive a power failure once this
   // returns (Fs::Sync contract). The engine calls it before acknowledging
   // a write when LsmOptions::sync_writes is set.
