@@ -1,0 +1,136 @@
+// Verified read caching under a Zipfian (YCSB-C-style) point-read workload.
+//
+// The paper's read-path figures price where the block buffer lives; this
+// bench prices what the verified cache layer *saves*: a warm hit skips the
+// file read, the block re-verification, and (via the verifier's proof-path
+// node cache) the Merkle climb re-hash. Series, per backend (sim / posix):
+//   * <backend>-uncached      — buffer shrunk to one block, so nearly every
+//                               read pays ocall + file read + verification
+//   * <backend>-cold          — first Zipfian pass on freshly dropped caches
+//                               (the hot head warms up mid-pass)
+//   * <backend>-warm          — identical key stream, caches warm
+//   * <backend>-memtable      — same store, keys resident in the memtable
+//                               (the "hot reads approach memtable speed"
+//                               reference line)
+//   * <backend>-warm-over-uncached — warm/uncached latency ratio (lower is
+//                               better; gated so cache effectiveness
+//                               cannot rot)
+// Latencies are simulated microseconds, so sim and posix rows are directly
+// comparable (the posix series proves the cache behaves identically over
+// real files).
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+
+using namespace elsm;
+using namespace elsm::bench;
+
+namespace {
+
+constexpr const char* kBench = "fig_read_cache";
+
+double MeasureZipfUs(ElsmDb& db, const std::vector<uint64_t>& keys) {
+  const uint64_t start = db.enclave().now_ns();
+  for (uint64_t k : keys) {
+    auto got = db.GetVerified(ycsb::MakeKey(k, 16));
+    if (!got.ok()) {
+      std::fprintf(stderr, "read failed: %s\n",
+                   got.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  return double(db.enclave().now_ns() - start) / double(keys.size()) / 1000.0;
+}
+
+void RunBackend(const std::string& series, storage::BackendKind kind) {
+  Options o = BaseOptions(Mode::kP2);
+  o.name = "readcache";
+  o.read_path = lsm::ReadPathKind::kBuffer;
+  o.backend = kind;
+  std::string dir;
+  if (kind == storage::BackendKind::kPosix) {
+    char tmpl[] = "/tmp/elsm-readcache-XXXXXX";
+    const char* made = mkdtemp(tmpl);
+    if (made == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed; skipping %s\n", series.c_str());
+      return;
+    }
+    dir = made;
+    o.backend_dir = dir;
+  }
+
+  const uint64_t records = RecordsFor(64);
+  Store store = BuildStore(o, records);
+
+  // One fixed Zipfian key stream, replayed for the cold and warm passes so
+  // both measure exactly the same accesses.
+  const uint64_t ops = std::max<uint64_t>(4000 / QuickDivisor(), 500);
+  Rng rng(0xcafe);
+  ScrambledZipfianGenerator zipf(records);
+  std::vector<uint64_t> keys;
+  keys.reserve(ops);
+  for (uint64_t i = 0; i < ops; ++i) keys.push_back(zipf.Next(rng));
+
+  // Uncached baseline: a one-block buffer evicts on almost every install,
+  // so the stream pays the full load-and-verify path each time.
+  Options uncached = o;
+  uncached.read_buffer_bytes = o.block_bytes;
+  uncached.read_cache_shards = 1;
+  Reopen(store, uncached);
+  const double uncached_us = MeasureZipfUs(*store.db, keys);
+
+  // Drop every cache (block buffer, tree handles, proof-path nodes).
+  Reopen(store, o);
+  const double cold_us = MeasureZipfUs(*store.db, keys);
+  const double warm_us = MeasureZipfUs(*store.db, keys);
+
+  // Memtable reference: fresh keys that never left L0.
+  const uint64_t kMemKeys = 64;
+  std::vector<uint64_t> mem_keys;
+  for (uint64_t i = 0; i < kMemKeys; ++i) {
+    const uint64_t k = records + i;
+    if (!store.db->Put(ycsb::MakeKey(k, 16), ycsb::MakeValue(k, 100)).ok()) {
+      std::abort();
+    }
+    mem_keys.push_back(k);
+  }
+  const double memtable_us = MeasureZipfUs(*store.db, mem_keys);
+
+  const auto cache = store.db->read_cache_stats();
+  const auto paths = store.db->proof_path_cache_stats();
+  std::printf("%-8s uncached %8.2f us   cold %8.2f us   warm %8.2f us   "
+              "memtable %8.2f us\n         (warm/uncached %.3f, cache hits "
+              "%llu/%llu, path hits %llu/%llu)\n",
+              series.c_str(), uncached_us, cold_us, warm_us, memtable_us,
+              warm_us / uncached_us, (unsigned long long)cache.hits,
+              (unsigned long long)(cache.hits + cache.misses),
+              (unsigned long long)paths.hits,
+              (unsigned long long)paths.lookups);
+  ReportRow(kBench, series + "-uncached", "pass", 0, uncached_us);
+  ReportRow(kBench, series + "-cold", "pass", 1, cold_us);
+  ReportRow(kBench, series + "-warm", "pass", 2, warm_us);
+  ReportRow(kBench, series + "-memtable", "pass", 3, memtable_us);
+  ReportRow(kBench, series + "-warm-over-uncached", "pass", 2,
+            warm_us / uncached_us, "x");
+
+  store.db.reset();
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("fig_read_cache: Zipfian verified reads, cold vs warm caches\n");
+  RunBackend("sim", storage::BackendKind::kSim);
+  RunBackend("posix", storage::BackendKind::kPosix);
+  return 0;
+}

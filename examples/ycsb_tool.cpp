@@ -402,6 +402,16 @@ int main(int argc, char** argv) {
                 (unsigned long long)manifest_edits,
                 (unsigned long long)manifest_snapshots,
                 double(manifest_bytes) / 1024.0);
+    const auto rc = sharded->read_cache_stats();
+    const auto pc = sharded->proof_path_cache_stats();
+    std::printf("read cache: hits=%llu misses=%llu evictions=%llu "
+                "invalidations=%llu | proof-path: hits=%llu/%llu "
+                "nodes-hashed=%llu\n",
+                (unsigned long long)rc.hits, (unsigned long long)rc.misses,
+                (unsigned long long)rc.evictions,
+                (unsigned long long)rc.invalidations,
+                (unsigned long long)pc.hits, (unsigned long long)pc.lookups,
+                (unsigned long long)pc.path_nodes_hashed);
     std::printf("health: retries=%llu absorbed=%llu exhausted=%llu "
                 "wal-repairs=%llu injected-faults=%llu sick-shards=%u "
                 "maintenance-skips=%llu\n",
@@ -435,6 +445,16 @@ int main(int argc, char** argv) {
                 (unsigned long long)es.manifest_edits_appended.load(),
                 (unsigned long long)es.manifest_snapshots_written.load(),
                 double(es.manifest_bytes_written.load()) / 1024.0);
+    const auto rc = db->read_cache_stats();
+    const auto pc = db->proof_path_cache_stats();
+    std::printf("read cache: hits=%llu misses=%llu evictions=%llu "
+                "invalidations=%llu | proof-path: hits=%llu/%llu "
+                "nodes-hashed=%llu\n",
+                (unsigned long long)rc.hits, (unsigned long long)rc.misses,
+                (unsigned long long)rc.evictions,
+                (unsigned long long)rc.invalidations,
+                (unsigned long long)pc.hits, (unsigned long long)pc.lookups,
+                (unsigned long long)pc.path_nodes_hashed);
     std::printf("health: retries=%llu absorbed=%llu exhausted=%llu "
                 "wal-repairs=%llu injected-faults=%llu degraded=%s\n",
                 (unsigned long long)es.retry_attempts.load(),

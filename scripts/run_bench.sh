@@ -69,6 +69,7 @@ FIG_BENCHES=(
   fig_fanout
   fig_group_commit
   fig_manifest_scaling
+  fig_read_cache
   fig_shard_scaling
   micro_enclave
   ablation_design_choices

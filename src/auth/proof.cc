@@ -174,6 +174,21 @@ Result<const TreeFile*> ProofAssembler::Tree(const std::string& name) {
   return &it->second;
 }
 
+void ProofAssembler::Evict(const std::string& name) {
+  std::lock_guard<std::mutex> lock(trees_mu_);
+  trees_.erase(name);
+}
+
+void ProofAssembler::Clear() {
+  std::lock_guard<std::mutex> lock(trees_mu_);
+  trees_.clear();
+}
+
+size_t ProofAssembler::cached_trees() const {
+  std::lock_guard<std::mutex> lock(trees_mu_);
+  return trees_.size();
+}
+
 namespace {
 
 Result<AssembledEntry> MakeEntry(const lsm::RawEntry& raw) {

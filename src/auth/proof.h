@@ -119,11 +119,19 @@ class ProofAssembler {
   Result<AssembledScan> AssembleScan(const lsm::ScanResponse& response,
                                      const std::vector<lsm::LevelMeta>& levels);
 
+  // Drops the cached handle for a compaction-deleted sidecar. Safe only for
+  // names no live Version references (the caller drains them from the file
+  // tracker, which requires every pinning snapshot to have died).
+  void Evict(const std::string& name);
+  // Drops every cached handle (manifest restore / reopen).
+  void Clear();
+  size_t cached_trees() const;
+
  private:
   Result<const TreeFile*> Tree(const std::string& name);
 
   std::shared_ptr<storage::Fs> fs_;
-  std::mutex trees_mu_;  // concurrent readers share one assembler
+  mutable std::mutex trees_mu_;  // concurrent readers share one assembler
   std::map<std::string, TreeFile> trees_;
 };
 

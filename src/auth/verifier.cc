@@ -14,7 +14,132 @@ Result<lsm::Record> DecodeEntry(const AssembledEntry& e) {
   return record;
 }
 
+// Cache key for a verified tree node: the enclave-held root it was verified
+// against, the tree level, and the node index within that level.
+std::string NodeKey(const crypto::Hash256& root, uint32_t level,
+                    uint64_t index) {
+  std::string key;
+  key.reserve(root.size() + 1 + 8);
+  key.append(reinterpret_cast<const char*>(root.data()), root.size());
+  key.push_back(static_cast<char>(level));  // tree height <= 64
+  for (int i = 0; i < 8; ++i) {
+    key.push_back(static_cast<char>((index >> (8 * i)) & 0xFF));
+  }
+  return key;
+}
+
 }  // namespace
+
+Status Verifier::VerifyPathCached(const crypto::Hash256& leaf_hash,
+                                  const crypto::MerklePath& path,
+                                  uint64_t leaf_count,
+                                  const crypto::Hash256& root) const {
+  if (path_cache_entries_ == 0) {
+    enclave_->ChargeHash(65 * path.siblings.size());
+    return crypto::MerkleTree::VerifyPath(leaf_hash, path, leaf_count, root);
+  }
+  if (leaf_count == 0) return Status::AuthFailure("path against empty tree");
+  if (path.leaf_index >= leaf_count) {
+    return Status::AuthFailure("leaf index out of range");
+  }
+
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  ++cache_stats_.lookups;
+  crypto::Hash256 h = leaf_hash;
+  uint64_t idx = path.leaf_index;
+  uint64_t width = leaf_count;
+  uint32_t level = 0;
+  size_t used = 0;
+  uint64_t hashed = 0;
+  bool short_circuit = false;
+  // Nodes computed on this climb, inserted only if the whole path verifies.
+  std::vector<std::pair<std::string, crypto::Hash256>> computed;
+  computed.emplace_back(NodeKey(root, level, idx), h);
+
+  // One ChargeHash covers the whole climb (same cost as the uncached
+  // single 65*n charge when nothing is cached).
+  auto finish = [&](Status s) {
+    if (hashed > 0) {
+      enclave_->ChargeHash(65 * hashed);
+      cache_stats_.path_nodes_hashed += hashed;
+    }
+    return s;
+  };
+
+  while (width > 1) {
+    auto it = path_nodes_.find(computed.back().first);
+    if (it != path_nodes_.end()) {
+      if (it->second != h) {
+        // The host's proof disagrees with a node already verified against
+        // this root: under collision resistance the proof is forged.
+        return finish(
+            Status::AuthFailure("proof contradicts verified path node"));
+      }
+      // The climb from this node to the root was verified before; only the
+      // remaining sibling count still needs checking (same malformed-proof
+      // acceptance as the full climb).
+      short_circuit = true;
+      while (width > 1) {
+        if (idx % 2 == 1 || idx + 1 < width) ++used;
+        idx /= 2;
+        width = (width + 1) / 2;
+      }
+      break;
+    }
+    if (idx % 2 == 1) {
+      if (used >= path.siblings.size()) {
+        return finish(Status::AuthFailure("merkle path too short"));
+      }
+      h = crypto::HashInterior(path.siblings[used++], h);
+      ++hashed;
+    } else if (idx + 1 < width) {
+      if (used >= path.siblings.size()) {
+        return finish(Status::AuthFailure("merkle path too short"));
+      }
+      h = crypto::HashInterior(h, path.siblings[used++]);
+      ++hashed;
+    }
+    // An unpaired rightmost node carries up unhashed; either way the node
+    // one level up is now known.
+    idx /= 2;
+    width = (width + 1) / 2;
+    ++level;
+    computed.emplace_back(NodeKey(root, level, idx), h);
+  }
+
+  if (used != path.siblings.size()) {
+    return finish(Status::AuthFailure("merkle path has extra nodes"));
+  }
+  if (!short_circuit && h != root) {
+    return finish(Status::AuthFailure("merkle root mismatch"));
+  }
+  if (short_circuit) ++cache_stats_.hits;
+  for (auto& [key, node] : computed) {
+    auto [pos, inserted] = path_nodes_.emplace(key, node);
+    (void)pos;
+    if (inserted) {
+      path_fifo_.push_back(key);
+      ++cache_stats_.insertions;
+    }
+  }
+  while (path_nodes_.size() > path_cache_entries_ && !path_fifo_.empty()) {
+    path_nodes_.erase(path_fifo_.front());
+    path_fifo_.pop_front();
+    ++cache_stats_.evictions;
+  }
+  return finish(Status::Ok());
+}
+
+void Verifier::InvalidatePathCache() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  path_nodes_.clear();
+  path_fifo_.clear();
+}
+
+ProofPathCacheStats Verifier::path_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_stats_;
+}
 
 Result<crypto::Hash256> Verifier::HeadLeaf(const AssembledEntry& e) const {
   enclave_->ChargeHash(e.entry.core.size() + 33);
@@ -74,9 +199,7 @@ Status Verifier::VerifyLevelMembership(std::string_view key, uint64_t ts_max,
   if (al.chain_path.leaf_index != leaf_index) {
     return Status::AuthFailure("path index mismatch");
   }
-  enclave_->ChargeHash(65 * al.chain_path.siblings.size());
-  return crypto::MerkleTree::VerifyPath(leaf, al.chain_path, meta.leaf_count,
-                                        meta.root);
+  return VerifyPathCached(leaf, al.chain_path, meta.leaf_count, meta.root);
 }
 
 Status Verifier::VerifyLevelNonMembership(std::string_view key,
@@ -106,9 +229,8 @@ Status Verifier::VerifyLevelNonMembership(std::string_view key,
     if (al.pred_path.leaf_index != pred_index) {
       return Status::AuthFailure("pred path index mismatch");
     }
-    enclave_->ChargeHash(65 * al.pred_path.siblings.size());
-    Status s = crypto::MerkleTree::VerifyPath(leaf.value(), al.pred_path,
-                                              meta.leaf_count, meta.root);
+    Status s = VerifyPathCached(leaf.value(), al.pred_path, meta.leaf_count,
+                                meta.root);
     if (!s.ok()) return s;
   }
   if (al.succ.has_value()) {
@@ -123,9 +245,8 @@ Status Verifier::VerifyLevelNonMembership(std::string_view key,
     if (al.succ_path.leaf_index != succ_index) {
       return Status::AuthFailure("succ path index mismatch");
     }
-    enclave_->ChargeHash(65 * al.succ_path.siblings.size());
-    Status s = crypto::MerkleTree::VerifyPath(leaf.value(), al.succ_path,
-                                              meta.leaf_count, meta.root);
+    Status s = VerifyPathCached(leaf.value(), al.succ_path, meta.leaf_count,
+                                meta.root);
     if (!s.ok()) return s;
   }
 

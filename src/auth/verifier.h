@@ -19,8 +19,12 @@
 // LevelMeta snapshot — never from the proof itself.
 #pragma once
 
+#include <deque>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "auth/proof.h"
@@ -30,9 +34,29 @@
 
 namespace elsm::auth {
 
+// Telemetry for the Merkle proof-path node cache (see Verifier below).
+struct ProofPathCacheStats {
+  uint64_t lookups = 0;           // path verifications that consulted it
+  uint64_t hits = 0;              // climbs short-circuited at a cached node
+  uint64_t path_nodes_hashed = 0; // interior hashes actually evaluated
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+};
+
 class Verifier {
  public:
-  explicit Verifier(sgx::Enclave* enclave) : enclave_(enclave) {}
+  // `path_cache_entries` bounds the Merkle proof-path node cache (0
+  // disables it). Upper tree levels are shared across keys, so once any
+  // path against a root has been verified, climbs for neighbouring keys
+  // stop at the first node they can match against a cached (and therefore
+  // verified) value — a repeat verification of a hot key re-hashes zero
+  // path nodes. Soundness: a cached node is keyed by the enclave-held root
+  // it was verified against; under collision resistance only one value at
+  // a (level, index) position is consistent with that root, so matching it
+  // proves the rest of the climb, and a mismatch proves the host's proof
+  // is forged (fail closed).
+  explicit Verifier(sgx::Enclave* enclave, size_t path_cache_entries = 4096)
+      : enclave_(enclave), path_cache_entries_(path_cache_entries) {}
 
   // Returns the authenticated newest record visible at ts_max (which may be
   // a tombstone — the caller maps it to "absent"), or nullopt for an
@@ -47,6 +71,10 @@ class Verifier {
       std::string_view k1, std::string_view k2, const AssembledScan& proof,
       const std::vector<lsm::LevelMeta>& levels) const;
 
+  // Drops every cached path node (manifest restore / reopen).
+  void InvalidatePathCache() const;
+  ProofPathCacheStats path_cache_stats() const;
+
  private:
   Status VerifyLevelMembership(std::string_view key, uint64_t ts_max,
                                const AssembledLevel& al,
@@ -57,7 +85,22 @@ class Verifier {
   // Recomputes a group-head leaf hash and verifies key/path bookkeeping.
   Result<crypto::Hash256> HeadLeaf(const AssembledEntry& e) const;
 
+  // MerkleTree::VerifyPath with the node cache: identical acceptance
+  // semantics (same malformed-proof checks), but the climb stops at the
+  // first cached node and only the interior hashes actually evaluated are
+  // charged to the enclave.
+  Status VerifyPathCached(const crypto::Hash256& leaf_hash,
+                          const crypto::MerklePath& path, uint64_t leaf_count,
+                          const crypto::Hash256& root) const;
+
   sgx::Enclave* enclave_;
+  size_t path_cache_entries_;
+  // Guards the node cache; verifications run concurrently under the
+  // facade's shared read lock.
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<std::string, crypto::Hash256> path_nodes_;
+  mutable std::deque<std::string> path_fifo_;  // insertion order (FIFO evict)
+  mutable ProofPathCacheStats cache_stats_;
 };
 
 }  // namespace elsm::auth

@@ -31,6 +31,7 @@ lsm::LsmOptions MakeEngineOptions(const Options& o) {
   eo.wal_sync_interval_us = o.wal_sync_interval_us;
   eo.io_retry = o.io_retry;
   eo.read_buffer_bytes = o.read_buffer_bytes;
+  eo.read_cache_shards = o.read_cache_shards;
   // The facade persists the manifest; compacted-away files may only be
   // unlinked after the manifest dropping them is durable (crash safety),
   // so the engine parks them and the facade purges post-persist.
@@ -48,6 +49,10 @@ lsm::LsmOptions MakeEngineOptions(const Options& o) {
       eo.read_path = o.read_path;
       eo.buffer_placement = storage::BufferPlacement::kOutsideEnclave;
       eo.protect_blocks = false;
+      // P2 blocks are plaintext in untrusted memory; verified cache
+      // admission is what makes a buffer hit trustworthy. The unsecured
+      // baseline skips it (no integrity contract to uphold).
+      eo.verify_blocks = o.mode == Mode::kP2;
       break;
   }
   return eo;
@@ -62,7 +67,7 @@ ElsmDb::ElsmDb(const Options& options, std::shared_ptr<storage::Fs> fs,
                                               options.mode != Mode::kUnsecured)),
       fs_(std::move(fs)),
       platform_(std::move(platform)),
-      verifier_(nullptr) {
+      verifier_(enclave_.get(), options.proof_path_cache_entries) {
   if (fs_ == nullptr) {
     fs_ = storage::MakeFs(options_.backend, options_.backend_dir, enclave_);
   }
@@ -75,7 +80,12 @@ ElsmDb::ElsmDb(const Options& options, std::shared_ptr<storage::Fs> fs,
     engine_->SetListener(listener_.get());
   }
   assembler_ = std::make_unique<auth::ProofAssembler>(fs_);
-  verifier_ = auth::Verifier(enclave_.get());
+  // Compaction-deleted files must leave every cache: the engine drops its
+  // own read-buffer entries and mmap handles, then this hook retires the
+  // assembler's tree-sidecar handles (fires outside engine locks).
+  engine_->SetCachePurgeHook([this](const std::vector<std::string>& names) {
+    for (const std::string& name : names) assembler_->Evict(name);
+  });
   if (options_.background_compaction) {
     engine_->SetCompactionCallback(
         [this] { return PersistAfterBackgroundCompaction(); });
@@ -288,6 +298,10 @@ Status ElsmDb::Recover() {
 
   Status s = engine_->RestoreManifest(engine_manifest);
   if (!s.ok()) return s;
+  // The restored stack may reuse names and carries fresh roots: retire the
+  // sidecar handles and verified path nodes along with the engine's caches.
+  assembler_->Clear();
+  verifier_.InvalidatePathCache();
   for (const std::string& edit : engine_edits) {
     s = engine_->ApplyEdit(edit);
     if (!s.ok()) return s;

@@ -137,6 +137,18 @@ class ElsmDb {
   TrustedPlatform& platform() { return *platform_; }
   const Options& options() const { return options_; }
   uint64_t last_ts() const { return last_ts_.load(std::memory_order_relaxed); }
+  // Block-cache counters summed over the read buffer's shards (all zero
+  // when the mmap read path carries no buffer).
+  storage::ReadBufferStats read_cache_stats() const {
+    const storage::ReadBuffer* buffer = engine_->read_buffer();
+    return buffer != nullptr ? buffer->stats() : storage::ReadBufferStats{};
+  }
+  // Verifier-side Merkle proof-path node cache counters.
+  auth::ProofPathCacheStats proof_path_cache_stats() const {
+    return verifier_.path_cache_stats();
+  }
+  // Tree-sidecar handles currently cached by the proof assembler.
+  size_t cached_tree_handles() const { return assembler_->cached_trees(); }
 
   struct OpStats {
     Histogram put;

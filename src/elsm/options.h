@@ -95,6 +95,14 @@ struct Options {
   //     user-space buffer) ---------------------------------------------------
   lsm::ReadPathKind read_path = lsm::ReadPathKind::kMmap;
   uint64_t read_buffer_bytes = 8 << 20;
+  // LRU shards of the read buffer (per-shard mutex, single-flight misses;
+  // entries are keyed by the block digest sealed in the snapshot, so a hit
+  // is already verified).
+  int read_cache_shards = 8;
+  // Merkle proof-path node cache inside the verifier: bounds the number of
+  // verified tree nodes kept so hot-key re-verifications skip the path
+  // re-hash entirely. 0 disables the cache.
+  size_t proof_path_cache_entries = 4096;
 
   // --- authentication (P2) -------------------------------------------------
   // Build the Merkle forest at all (false = a plain LSM store that still

@@ -169,6 +169,31 @@ class ShardedDb {
     std::atomic<uint64_t> maintenance_shards_skipped{0};
   };
   const FanoutStats& fanout_stats() const { return fanout_stats_; }
+  // Block-cache counters summed across every shard's read buffer.
+  storage::ReadBufferStats read_cache_stats() const {
+    storage::ReadBufferStats total;
+    for (const auto& shard : shards_) {
+      const storage::ReadBufferStats s = shard->read_cache_stats();
+      total.hits += s.hits;
+      total.misses += s.misses;
+      total.evictions += s.evictions;
+      total.invalidations += s.invalidations;
+    }
+    return total;
+  }
+  // Proof-path node-cache counters summed across every shard's verifier.
+  auth::ProofPathCacheStats proof_path_cache_stats() const {
+    auth::ProofPathCacheStats total;
+    for (const auto& shard : shards_) {
+      const auth::ProofPathCacheStats s = shard->proof_path_cache_stats();
+      total.lookups += s.lookups;
+      total.hits += s.hits;
+      total.path_nodes_hashed += s.path_nodes_hashed;
+      total.insertions += s.insertions;
+      total.evictions += s.evictions;
+    }
+    return total;
+  }
   // The pool cross-shard ops dispatch onto (null = sequential fallback).
   const std::shared_ptr<common::ThreadPool>& fanout_pool() const {
     return pool_;

@@ -33,7 +33,8 @@ LsmEngine::LsmEngine(LsmOptions options, std::shared_ptr<sgx::Enclave> enclave,
   metadata_region_ = enclave_->RegisterRegion(64 * 1024);
   if (options_.read_path == ReadPathKind::kBuffer) {
     read_buffer_ = std::make_unique<storage::ReadBuffer>(
-        enclave_, options_.read_buffer_bytes, options_.buffer_placement);
+        enclave_, options_.read_buffer_bytes, options_.buffer_placement,
+        options_.read_cache_shards);
   }
   if (options_.background_compaction) {
     bg_started_ = true;
@@ -385,7 +386,9 @@ Result<std::shared_ptr<const std::string>> LsmEngine::ReadBlock(
   }
 
   // Buffer path: the cache holds verified plaintext blocks, so the MAC/
-  // decrypt cost is paid once per miss.
+  // decrypt cost is paid once per miss. The cache is keyed by the block
+  // digest sealed in the snapshot metadata and verifies loaded bytes
+  // against it before admission, so a hit never re-reads or re-hashes.
   auto loader = [this, &file, &block]() -> Result<std::string> {
     auto bytes = fs_->Read(file.name, block.offset, block.size);
     if (!bytes.ok()) return bytes.status();
@@ -397,7 +400,9 @@ Result<std::shared_ptr<const std::string>> LsmEngine::ReadBlock(
     }
     return bytes;
   };
-  return read_buffer_->Get(file.name, block.offset, loader);
+  return read_buffer_->Get(
+      file.name, block.offset,
+      options_.verify_blocks ? block.digest : crypto::kZeroHash, loader);
 }
 
 Result<LsmEngine::ParsedBlock> LsmEngine::ReadParsedBlock(
@@ -1248,11 +1253,25 @@ void LsmEngine::PurgeDeadCaches() {
   if (!tracker_->has_deleted()) return;
   const std::vector<std::string> deleted = tracker_->DrainDeleted();
   if (deleted.empty()) return;
-  std::lock_guard<std::mutex> lock(mmaps_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mmaps_mu_);
+    for (const std::string& name : deleted) mmaps_.erase(name);
+  }
   for (const std::string& name : deleted) {
-    mmaps_.erase(name);
     if (read_buffer_ != nullptr) read_buffer_->Invalidate(name);
   }
+  std::function<void(const std::vector<std::string>&)> hook;
+  {
+    std::lock_guard<std::mutex> lock(purge_hook_mu_);
+    hook = cache_purge_hook_;
+  }
+  if (hook) hook(deleted);
+}
+
+void LsmEngine::SetCachePurgeHook(
+    std::function<void(const std::vector<std::string>&)> hook) {
+  std::lock_guard<std::mutex> lock(purge_hook_mu_);
+  cache_purge_hook_ = std::move(hook);
 }
 
 // ---------------------------------------------------------------------------
@@ -1386,6 +1405,10 @@ Status LsmEngine::RestoreManifest(std::string_view manifest) {
     std::lock_guard<std::mutex> lock(mmaps_mu_);
     mmaps_.clear();
   }
+  // The restored stack may reuse file names with different contents; the
+  // digest keying already makes stale hits unreachable, but the bytes are
+  // dead weight — drop them with the mmap handles.
+  if (read_buffer_ != nullptr) read_buffer_->Clear();
   return Status::Ok();
 }
 

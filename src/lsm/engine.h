@@ -87,10 +87,17 @@ struct LsmOptions {
   bool background_compaction = false;
   ReadPathKind read_path = ReadPathKind::kMmap;
   uint64_t read_buffer_bytes = 8 << 20;
+  // LRU shards of the read buffer (per-shard mutex + single-flight misses).
+  int read_cache_shards = 8;
   storage::BufferPlacement buffer_placement =
       storage::BufferPlacement::kOutsideEnclave;
   // eLSM-P1 file-granularity protection: per-block HMAC + cipher charges.
   bool protect_blocks = false;
+  // Verify loaded blocks against the digest sealed in the snapshot metadata
+  // before admitting them to the read buffer (digest-keyed verified cache).
+  // P2 turns this on; P1 already authenticates loads via the block MAC and
+  // the unsecured baseline carries no integrity contract at all.
+  bool verify_blocks = false;
   std::string mac_key = "elsm-p1-file-key";
   // Keep superseded versions of a key during compaction (eLSM chains need
   // them for time-travel GETs); tombstone-covered records are still dropped
@@ -384,6 +391,14 @@ class LsmEngine {
   const LsmOptions& options() const { return options_; }
   storage::Fs& fs() { return *fs_; }
   sgx::Enclave& enclave() { return *enclave_; }
+  // Null when read_path == kMmap (no block cache on the mmap path).
+  const storage::ReadBuffer* read_buffer() const { return read_buffer_.get(); }
+  // Invoked (outside engine locks) with each batch of compaction-deleted
+  // file names drained from the tracker, after the engine has dropped its
+  // own mmap handles and read-buffer entries. The facade hangs
+  // ProofAssembler tree-handle eviction off it.
+  void SetCachePurgeHook(
+      std::function<void(const std::vector<std::string>&)> hook);
 
   // --- manifest & recovery (driven by the elsm facade) ---------------------
   // Full level-stack snapshot. When `covered_edit_seq` is non-null it
@@ -595,6 +610,10 @@ class LsmEngine {
   std::unique_ptr<storage::ReadBuffer> read_buffer_;
   mutable std::mutex mmaps_mu_;
   mutable std::unordered_map<std::string, storage::MmapRegion> mmaps_;
+  // Guards cache_purge_hook_: PurgeDeadCaches fires from reader and
+  // background-compaction threads while the facade installs the hook.
+  mutable std::mutex purge_hook_mu_;
+  std::function<void(const std::vector<std::string>&)> cache_purge_hook_;
   sgx::RegionId memtable_region_ = 0;
   sgx::RegionId metadata_region_ = 0;
   mutable EngineStats stats_;

@@ -16,6 +16,7 @@ void SSTableBuilder::FlushBlock() {
   if (!mac_key_.empty()) {
     current_.mac = crypto::HmacSha256(mac_key_, block_);
   }
+  current_.digest = crypto::Sha256::Digest(block_);
   contents_ += block_;
   meta_.blocks.push_back(current_);
   block_.clear();

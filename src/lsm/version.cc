@@ -53,6 +53,7 @@ std::string LevelMeta::Encode() const {
       PutVarint32(&out, b.num_entries);
       PutLengthPrefixed(&out, b.first_key);
       PutHash(&out, b.mac);
+      PutHash(&out, b.digest);
     }
   }
   return out;
@@ -93,7 +94,8 @@ Result<LevelMeta> LevelMeta::Decode(std::string_view* input) {
       std::string_view first_key;
       if (!GetVarint64(input, &b.offset) || !GetVarint64(input, &b.size) ||
           !GetVarint32(input, &b.num_entries) ||
-          !GetLengthPrefixed(input, &first_key) || !GetHash(input, &b.mac)) {
+          !GetLengthPrefixed(input, &first_key) || !GetHash(input, &b.mac) ||
+          !GetHash(input, &b.digest)) {
         return Status::Corruption("bad block handle");
       }
       b.first_key.assign(first_key);

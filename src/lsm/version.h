@@ -39,6 +39,10 @@ struct BlockHandle {
   std::string first_key;
   // Per-block MAC (eLSM-P1 file-granularity protection; unused in P2).
   crypto::Hash256 mac = crypto::kZeroHash;
+  // SHA-256 of the block bytes, sealed into the snapshot metadata at build
+  // time. The read cache keys on it, so a cached hit is already verified
+  // and a rewritten file can never satisfy a stale lookup.
+  crypto::Hash256 digest = crypto::kZeroHash;
 };
 
 struct FileMeta {

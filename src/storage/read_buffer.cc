@@ -1,21 +1,63 @@
 #include "storage/read_buffer.h"
 
+#include <algorithm>
+
 namespace elsm::storage {
 namespace {
 
-std::string CacheKey(const std::string& file, uint64_t offset) {
-  return file + "#" + std::to_string(offset);
+// Cache key: file "#" offset "#" raw digest bytes. File names never contain
+// '#', so the prefix file "#" uniquely identifies a file's entries.
+std::string CacheKey(const std::string& file, uint64_t offset,
+                     const crypto::Hash256& digest) {
+  std::string key;
+  key.reserve(file.size() + 1 + 20 + 1 + digest.size());
+  key += file;
+  key += '#';
+  key += std::to_string(offset);
+  key += '#';
+  key.append(reinterpret_cast<const char*>(digest.data()), digest.size());
+  return key;
+}
+
+bool KeyMatchesFile(const std::string& key, const std::string& file) {
+  return key.size() > file.size() + 1 && key[file.size()] == '#' &&
+         key.compare(0, file.size(), file) == 0;
+}
+
+uint64_t ShardHash(const std::string& file, uint64_t offset) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : file) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= offset;
+  h *= 1099511628211ull;
+  return h;
 }
 
 }  // namespace
 
 ReadBuffer::ReadBuffer(std::shared_ptr<sgx::Enclave> enclave,
-                       uint64_t capacity_bytes, BufferPlacement placement)
+                       uint64_t capacity_bytes, BufferPlacement placement,
+                       int shards)
     : enclave_(std::move(enclave)),
       capacity_(capacity_bytes == 0 ? 1 : capacity_bytes),
       placement_(placement) {
+  const int n = std::clamp(shards, 1, 64);
   if (placement_ == BufferPlacement::kInsideEnclave) {
     region_ = enclave_->RegisterRegion(capacity_);
+  }
+  shards_.reserve(n);
+  const uint64_t slice = std::max<uint64_t>(capacity_ / n, 1);
+  for (int i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->ring_base = slice * i;
+    shard->ring_limit = (i + 1 == n) ? capacity_ : slice * (i + 1);
+    if (shard->ring_limit <= shard->ring_base) {
+      shard->ring_limit = shard->ring_base + 1;
+    }
+    shard->ring_cursor = shard->ring_base;
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -23,84 +65,209 @@ ReadBuffer::~ReadBuffer() {
   if (region_ != 0) enclave_->FreeRegion(region_);
 }
 
-void ReadBuffer::EvictLocked(uint64_t need_bytes) {
-  while (bytes_used_ + need_bytes > capacity_ && !lru_.empty()) {
-    const std::string victim = lru_.back();
-    lru_.pop_back();
-    auto it = entries_.find(victim);
-    if (it != entries_.end()) {
-      bytes_used_ -= it->second.block->size();
-      entries_.erase(it);
-      ++stats_.evictions;
-    }
+ReadBuffer::Shard& ReadBuffer::ShardFor(const std::string& file,
+                                        uint64_t offset) {
+  return *shards_[ShardHash(file, offset) % shards_.size()];
+}
+
+void ReadBuffer::ChargeHit(const Entry& entry) const {
+  if (placement_ == BufferPlacement::kInsideEnclave) {
+    enclave_->AccessRegion(region_, entry.region_offset,
+                           entry.block->size());
+  } else {
+    enclave_->UntrustedRead(entry.block->size());
   }
 }
 
-Result<std::shared_ptr<const std::string>> ReadBuffer::Get(
-    const std::string& file, uint64_t offset,
-    const std::function<Result<std::string>()>& loader) {
-  const std::string key = CacheKey(file, offset);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      ++stats_.hits;
-      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-      const auto& entry = it->second;
-      if (placement_ == BufferPlacement::kInsideEnclave) {
-        enclave_->AccessRegion(region_, entry.region_offset,
-                               entry.block->size());
-      } else {
-        enclave_->UntrustedRead(entry.block->size());
-      }
-      return entry.block;
-    }
+bool ReadBuffer::RemoveLocked(Shard& shard, const std::string& key) {
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return false;
+  shard.bytes_used -= it->second.charged_size;
+  shard.lru.erase(it->second.lru_it);
+  shard.entries.erase(it);
+  return true;
+}
+
+void ReadBuffer::EvictLocked(Shard& shard, uint64_t need_bytes) {
+  const uint64_t shard_capacity = shard.ring_limit - shard.ring_base;
+  while (shard.bytes_used + need_bytes > shard_capacity &&
+         !shard.lru.empty()) {
+    const std::string victim = shard.lru.back();
+    RemoveLocked(shard, victim);
+    ++shard.stats.evictions;
   }
+}
 
-  // Miss: the loader reads from the (untrusted-world) filesystem. The file
-  // read is a syscall, so enclave code pays a world switch wherever the
-  // buffer lives; inside placement additionally pays the boundary copy.
-  ++stats_.misses;
-  enclave_->ChargeOcall();
-  auto loaded = loader();
-  if (!loaded.ok()) return loaded.status();
-  auto block = std::make_shared<const std::string>(std::move(loaded).value());
-
-  std::lock_guard<std::mutex> lock(mu_);
-  EvictLocked(block->size());
+void ReadBuffer::InstallLocked(Shard& shard, const std::string& key,
+                               std::shared_ptr<const std::string> block) {
+  // Overwriting a resident entry must retire its accounting and LRU node
+  // first, or bytes_used_ drifts up and a stranded node poisons the list.
+  RemoveLocked(shard, key);
+  EvictLocked(shard, block->size());
   Entry entry;
-  entry.block = block;
+  entry.charged_size = block->size();
   if (placement_ == BufferPlacement::kInsideEnclave) {
-    if (ring_cursor_ + block->size() > capacity_) ring_cursor_ = 0;
-    entry.region_offset = ring_cursor_;
-    ring_cursor_ += block->size();
+    if (shard.ring_cursor + block->size() > shard.ring_limit) {
+      shard.ring_cursor = shard.ring_base;
+    }
+    entry.region_offset = shard.ring_cursor;
+    shard.ring_cursor += block->size();
     enclave_->Copy(block->size(), /*cross_boundary=*/true);
     enclave_->AccessRegion(region_, entry.region_offset, block->size());
   } else {
     enclave_->Copy(block->size(), /*cross_boundary=*/false);
     enclave_->UntrustedRead(block->size());
   }
-  lru_.push_front(key);
-  entry.lru_it = lru_.begin();
-  bytes_used_ += block->size();
-  entries_[key] = std::move(entry);
-  return std::shared_ptr<const std::string>(block);
+  shard.lru.push_front(key);
+  entry.lru_it = shard.lru.begin();
+  shard.bytes_used += block->size();
+  entry.block = std::move(block);
+  shard.entries[key] = std::move(entry);
+}
+
+Result<std::shared_ptr<const std::string>> ReadBuffer::Get(
+    const std::string& file, uint64_t offset,
+    const crypto::Hash256& expected_digest,
+    const std::function<Result<std::string>()>& loader) {
+  const std::string key = CacheKey(file, offset, expected_digest);
+  Shard& shard = ShardFor(file, offset);
+  std::shared_ptr<Flight> flight;
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    for (;;) {
+      auto it = shard.entries.find(key);
+      if (it != shard.entries.end()) {
+        ++shard.stats.hits;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+        ChargeHit(it->second);
+        return it->second.block;
+      }
+      auto fit = shard.flights.find(key);
+      if (fit == shard.flights.end()) break;
+      // Duplicate miss: wait for the in-flight leader instead of issuing a
+      // second load for the same bytes.
+      std::shared_ptr<Flight> f = fit->second;
+      f->cv.wait(lock, [&f] { return f->done; });
+      if (!f->status.ok()) return f->status;
+      if (f->block != nullptr) {
+        ++shard.stats.hits;
+        enclave_->Copy(f->block->size(),
+                       placement_ == BufferPlacement::kInsideEnclave);
+        return f->block;
+      }
+      // The leader's flight was superseded; retry from the top.
+    }
+    ++shard.stats.misses;
+    flight = std::make_shared<Flight>();
+    shard.flights[key] = flight;
+  }
+
+  // Leader path, no lock held: the loader reads from the (untrusted-world)
+  // filesystem. The file read is a syscall, so enclave code pays a world
+  // switch wherever the buffer lives.
+  enclave_->ChargeOcall();
+  auto loaded = loader();
+  std::shared_ptr<const std::string> block;
+  Status status = loaded.status();
+  if (status.ok()) {
+    block = std::make_shared<const std::string>(std::move(loaded).value());
+    if (expected_digest != crypto::kZeroHash) {
+      // Verify-before-cache: the block is only admitted when its bytes hash
+      // to the digest sealed in the snapshot metadata (fail closed).
+      enclave_->ChargeHash(block->size());
+      if (crypto::Sha256::Digest(*block) != expected_digest) {
+        status = Status::AuthFailure("block digest mismatch: " + file);
+        block = nullptr;
+      }
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(shard.mu);
+  if (status.ok() && !flight->invalidated) {
+    InstallLocked(shard, key, block);
+  } else if (status.ok()) {
+    // Invalidated mid-flight (the file was deleted): hand the verified bytes
+    // to callers but do not cache them.
+    enclave_->Copy(block->size(),
+                   placement_ == BufferPlacement::kInsideEnclave);
+  }
+  flight->status = status;
+  flight->block = block;
+  flight->done = true;
+  auto fit = shard.flights.find(key);
+  if (fit != shard.flights.end() && fit->second == flight) {
+    shard.flights.erase(fit);
+  }
+  lock.unlock();
+  flight->cv.notify_all();
+  if (!status.ok()) return status;
+  return block;
 }
 
 void ReadBuffer::Invalidate(const std::string& file) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    const bool match = it->first.compare(0, file.size(), file) == 0 &&
-                       it->first.size() > file.size() &&
-                       it->first[file.size()] == '#';
-    if (match) {
-      bytes_used_ -= it->second.block->size();
-      lru_.erase(it->second.lru_it);
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (KeyMatchesFile(it->first, file)) {
+        shard.bytes_used -= it->second.charged_size;
+        shard.lru.erase(it->second.lru_it);
+        it = shard.entries.erase(it);
+        ++shard.stats.invalidations;
+      } else {
+        ++it;
+      }
+    }
+    for (auto& [key, flight] : shard.flights) {
+      if (KeyMatchesFile(key, file)) flight->invalidated = true;
     }
   }
+}
+
+void ReadBuffer::Clear() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.stats.invalidations += shard.entries.size();
+    shard.entries.clear();
+    shard.lru.clear();
+    shard.bytes_used = 0;
+    shard.ring_cursor = shard.ring_base;
+    for (auto& [key, flight] : shard.flights) flight->invalidated = true;
+  }
+}
+
+ReadBufferStats ReadBuffer::stats() const {
+  ReadBufferStats total;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.evictions += shard.stats.evictions;
+    total.invalidations += shard.stats.invalidations;
+  }
+  return total;
+}
+
+uint64_t ReadBuffer::bytes_used() const {
+  uint64_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    total += shard_ptr->bytes_used;
+  }
+  return total;
+}
+
+uint64_t ReadBuffer::ResidentBytes() const {
+  uint64_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    for (const auto& [key, entry] : shard_ptr->entries) {
+      total += entry.block->size();
+    }
+  }
+  return total;
 }
 
 }  // namespace elsm::storage

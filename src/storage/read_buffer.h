@@ -1,4 +1,4 @@
-// User-space read buffer (block cache) with LRU eviction.
+// User-space read buffer (verified block cache) with sharded LRU eviction.
 //
 // This is the structure whose *placement* the paper studies (Fig. 2, 6c, 8):
 //  * placement == kOutsideEnclave — eLSM-P2 / unsecured: hits are plain
@@ -8,10 +8,23 @@
 //    faults once capacity > EPC, the Fig. 2 cliff); misses additionally pay
 //    an OCall (file read is a syscall) and a cross-boundary copy.
 //
-// Cached blocks get stable byte offsets inside the region from a ring
-// allocator, so the EPC page-table sees a realistic address stream.
+// Entries are keyed by (file, offset, expected digest): a block only enters
+// the cache after its bytes hash to the digest sealed in the snapshot's
+// BlockHandle, so a hit is *already verified* — it skips both the I/O and
+// the re-hash. A loader whose bytes do not match fails closed (AuthFailure)
+// and nothing is cached. Because a rewritten file (compaction name reuse)
+// carries new digests, stale blocks are structurally unreachable even
+// before the purge path invalidates them.
+//
+// Concurrency: the cache is sharded (per-shard mutex); the loader never
+// runs under a lock, and duplicate misses on the same key are collapsed
+// into a single flight (one loader call, waiters reuse the result).
+//
+// Cached blocks get stable byte offsets inside the region from a per-shard
+// ring allocator, so the EPC page-table sees a realistic address stream.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -19,8 +32,10 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
+#include "crypto/sha256.h"
 #include "sgxsim/enclave.h"
 
 namespace elsm::storage {
@@ -31,51 +46,93 @@ struct ReadBufferStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  uint64_t invalidations = 0;
 };
 
 class ReadBuffer {
  public:
   ReadBuffer(std::shared_ptr<sgx::Enclave> enclave, uint64_t capacity_bytes,
-             BufferPlacement placement);
+             BufferPlacement placement, int shards = 1);
   ~ReadBuffer();
 
   ReadBuffer(const ReadBuffer&) = delete;
   ReadBuffer& operator=(const ReadBuffer&) = delete;
 
-  // Returns the cached block for (file, offset), invoking `loader` on a
-  // miss to fetch the bytes (the loader runs "in the untrusted world";
-  // world-switch charging happens here, not in the loader).
+  // Returns the cached block for (file, offset, expected_digest), invoking
+  // `loader` on a miss to fetch the bytes (the loader runs "in the
+  // untrusted world"; world-switch charging happens here, not in the
+  // loader). Loaded bytes are hashed inside the enclave and compared to
+  // `expected_digest` before they may enter the cache; a mismatch returns
+  // AuthFailure and caches nothing. A digest of kZeroHash skips the check
+  // (legacy/unsealed blocks) — such entries still key on the zero digest.
   Result<std::shared_ptr<const std::string>> Get(
       const std::string& file, uint64_t offset,
+      const crypto::Hash256& expected_digest,
       const std::function<Result<std::string>()>& loader);
 
-  // Drops every cached block of `file` (called when compaction deletes it).
+  // Drops every cached block of `file` (called when compaction deletes it)
+  // and marks the file's in-flight loads so their results are returned to
+  // callers but never installed.
   void Invalidate(const std::string& file);
 
-  const ReadBufferStats& stats() const { return stats_; }
+  // Drops everything (manifest restore / reopen).
+  void Clear();
+
+  // Aggregated over shards, taken under the shard locks (safe to call from
+  // any thread while readers are active).
+  ReadBufferStats stats() const;
+  uint64_t bytes_used() const;
   uint64_t capacity() const { return capacity_; }
-  uint64_t bytes_used() const { return bytes_used_; }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  // Recomputes the sum of resident entry sizes by walking the maps (test
+  // support: must always equal bytes_used()).
+  uint64_t ResidentBytes() const;
 
  private:
   struct Entry {
     std::shared_ptr<const std::string> block;
     uint64_t region_offset = 0;
+    size_t charged_size = 0;
     std::list<std::string>::iterator lru_it;
   };
 
-  void EvictLocked(uint64_t need_bytes);
+  // A single-flight record: the first missing reader becomes the leader and
+  // runs the loader; concurrent readers of the same key wait on `done`.
+  struct Flight {
+    std::condition_variable cv;
+    bool done = false;
+    bool invalidated = false;
+    Status status = Status::Ok();
+    std::shared_ptr<const std::string> block;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> entries;  // key = file#offset#digest
+    std::unordered_map<std::string, std::shared_ptr<Flight>> flights;
+    std::list<std::string> lru;  // front = most recent
+    uint64_t bytes_used = 0;
+    uint64_t ring_base = 0;    // this shard's slice of the enclave region
+    uint64_t ring_limit = 0;   // exclusive end of the slice
+    uint64_t ring_cursor = 0;  // next offset within [ring_base, ring_limit)
+    ReadBufferStats stats;
+  };
+
+  Shard& ShardFor(const std::string& file, uint64_t offset);
+  void ChargeHit(const Entry& entry) const;
+  // Removes `key` from `shard` if resident, fixing accounting; returns true
+  // if an entry was removed.
+  static bool RemoveLocked(Shard& shard, const std::string& key);
+  void EvictLocked(Shard& shard, uint64_t need_bytes);
+  void InstallLocked(Shard& shard, const std::string& key,
+                     std::shared_ptr<const std::string> block);
 
   std::shared_ptr<sgx::Enclave> enclave_;
   uint64_t capacity_;
   BufferPlacement placement_;
   sgx::RegionId region_ = 0;
-
-  std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;  // key = file "#" offset
-  std::list<std::string> lru_;                      // front = most recent
-  uint64_t bytes_used_ = 0;
-  uint64_t ring_cursor_ = 0;
-  ReadBufferStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace elsm::storage

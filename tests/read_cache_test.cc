@@ -1,0 +1,382 @@
+// Verified read-cache layer tests: digest-keyed sharded ReadBuffer
+// (accounting, fail-closed admission, single-flight, invalidation racing
+// readers), proof-path node caching in the verifier, cache lifecycle across
+// compaction's obsolete-file purge, and warm-hit enclave-counter budgets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "elsm/elsm_db.h"
+#include "storage/read_buffer.h"
+#include "storage/simfs.h"
+
+namespace elsm {
+namespace {
+
+using storage::BufferPlacement;
+using storage::ReadBuffer;
+
+std::shared_ptr<sgx::Enclave> MakeEnclave() {
+  return std::make_shared<sgx::Enclave>(sgx::CostModel{}, true);
+}
+
+std::string Key(int i) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "key%06d", i);
+  return buf;
+}
+
+Options BufferOptions() {
+  Options o;
+  o.mode = Mode::kP2;
+  o.memtable_bytes = 4 << 10;
+  o.level1_bytes = 16 << 10;
+  o.block_bytes = 1024;
+  o.file_bytes = 8 << 10;
+  o.read_path = lsm::ReadPathKind::kBuffer;
+  o.read_buffer_bytes = 4 << 20;
+  return o;
+}
+
+// --- unit: digest keying and fail-closed admission -------------------------
+
+TEST(ReadCacheTest, DigestMismatchFailsClosedAndCachesNothing) {
+  auto enclave = MakeEnclave();
+  ReadBuffer buffer(enclave, 64 << 10, BufferPlacement::kOutsideEnclave, 4);
+  const std::string good(512, 'a');
+  const crypto::Hash256 digest = crypto::Sha256::Digest(good);
+  int loads = 0;
+  auto bad_loader = [&]() -> Result<std::string> {
+    ++loads;
+    return std::string(512, 'z');  // host swapped the block contents
+  };
+  auto miss = buffer.Get("f", 0, digest, bad_loader);
+  ASSERT_FALSE(miss.ok());
+  EXPECT_TRUE(miss.status().IsAuthFailure());
+  EXPECT_EQ(buffer.bytes_used(), 0u);
+
+  auto good_loader = [&]() -> Result<std::string> {
+    ++loads;
+    return good;
+  };
+  auto hit = buffer.Get("f", 0, digest, good_loader);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(*hit.value(), good);
+  EXPECT_EQ(loads, 2);
+  // Warm: no loader call, contents already verified.
+  ASSERT_TRUE(buffer.Get("f", 0, digest, bad_loader).ok());
+  EXPECT_EQ(loads, 2);
+}
+
+TEST(ReadCacheTest, StaleDigestCannotServeRewrittenFile) {
+  // Compaction name reuse in miniature: the same (file, offset) changes
+  // contents. The old digest key must never return the new bytes, and the
+  // new digest key must never return the cached old bytes.
+  auto enclave = MakeEnclave();
+  ReadBuffer buffer(enclave, 64 << 10, BufferPlacement::kOutsideEnclave, 4);
+  std::string disk(1024, '1');  // simulated file contents
+  const crypto::Hash256 gen1 = crypto::Sha256::Digest(disk);
+  auto loader = [&]() -> Result<std::string> { return disk; };
+  ASSERT_TRUE(buffer.Get("f", 0, gen1, loader).ok());
+
+  disk.assign(1024, '2');  // file rewritten in place under the same name
+  const crypto::Hash256 gen2 = crypto::Sha256::Digest(disk);
+  auto fresh = buffer.Get("f", 0, gen2, loader);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*fresh.value(), disk);  // re-read, not the stale cached block
+
+  // A reader still presenting the old digest after the rewrite fails
+  // closed instead of being served the wrong generation.
+  buffer.Invalidate("f");
+  auto stale = buffer.Get("f", 0, gen1, loader);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_TRUE(stale.status().IsAuthFailure());
+}
+
+TEST(ReadCacheTest, OverwriteAccountingStaysExact) {
+  auto enclave = MakeEnclave();
+  ReadBuffer buffer(enclave, 32 << 10, BufferPlacement::kOutsideEnclave, 2);
+  auto loader_of = [](size_t n) {
+    return [n]() -> Result<std::string> { return std::string(n, 'x'); };
+  };
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(
+        buffer.Get("f", i * 64, crypto::kZeroHash, loader_of(700 + i)).ok());
+  }
+  EXPECT_EQ(buffer.bytes_used(), buffer.ResidentBytes());
+  buffer.Invalidate("f");
+  EXPECT_EQ(buffer.bytes_used(), 0u);
+  EXPECT_EQ(buffer.ResidentBytes(), 0u);
+  EXPECT_EQ(buffer.stats().invalidations, 16u);
+}
+
+TEST(ReadCacheTest, ShardedEvictionRespectsCapacity) {
+  auto enclave = MakeEnclave();
+  ReadBuffer buffer(enclave, 16 << 10, BufferPlacement::kOutsideEnclave, 4);
+  auto loader = []() -> Result<std::string> {
+    return std::string(2048, 'e');
+  };
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(buffer.Get("f", i * 4096, crypto::kZeroHash, loader).ok());
+  }
+  EXPECT_GT(buffer.stats().evictions, 0u);
+  EXPECT_LE(buffer.bytes_used(), 16u << 10);
+  EXPECT_EQ(buffer.bytes_used(), buffer.ResidentBytes());
+}
+
+// --- concurrency (runs under the TSan CI matrix) ---------------------------
+
+TEST(ReadCacheConcurrencyTest, SingleFlightCollapsesDuplicateMisses) {
+  auto enclave = MakeEnclave();
+  ReadBuffer buffer(enclave, 64 << 10, BufferPlacement::kOutsideEnclave, 4);
+  std::atomic<int> loads{0};
+  auto slow_loader = [&]() -> Result<std::string> {
+    loads.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return std::string(1024, 's');
+  };
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto r = buffer.Get("f", 0, crypto::kZeroHash, slow_loader);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.value()->size(), 1024u);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(loads.load(), 1);
+  const auto stats = buffer.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, kThreads - 1u);
+}
+
+TEST(ReadCacheConcurrencyTest, ConcurrentMissStressKeepsExactAccounting) {
+  // The regression this guards: a duplicate-miss overwrite used to leak the
+  // old entry's size into bytes_used_ and strand its LRU node, permanently
+  // shrinking effective capacity. After an all-out stress run the byte
+  // ledger must equal the sum of resident entries exactly.
+  auto enclave = MakeEnclave();
+  ReadBuffer buffer(enclave, 48 << 10, BufferPlacement::kOutsideEnclave, 4);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 600;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(1000 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int file = rng() % 3;
+        const uint64_t offset = (rng() % 24) * 512;
+        const size_t size = 256 + rng() % 1536;
+        auto loader = [size]() -> Result<std::string> {
+          return std::string(size, 'm');
+        };
+        const std::string name = "f" + std::to_string(file);
+        auto r = buffer.Get(name, offset, crypto::kZeroHash, loader);
+        ASSERT_TRUE(r.ok());
+        if (i % 97 == 0) buffer.Invalidate(name);
+        if (i % 53 == 0) {
+          (void)buffer.stats();
+          (void)buffer.bytes_used();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(buffer.bytes_used(), buffer.ResidentBytes());
+  EXPECT_LE(buffer.bytes_used(), 48u << 10);
+  const auto stats = buffer.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            uint64_t(kThreads) * uint64_t(kOpsPerThread));
+}
+
+TEST(ReadCacheConcurrencyTest, InvalidateRacesLoadersWithoutStaleInstall) {
+  // An Invalidate landing while a miss is in flight must not let the flight
+  // install its (now dead) block behind the invalidation.
+  auto enclave = MakeEnclave();
+  ReadBuffer buffer(enclave, 64 << 10, BufferPlacement::kOutsideEnclave, 2);
+  std::atomic<bool> stop{false};
+  std::thread invalidator([&] {
+    while (!stop.load()) {
+      buffer.Invalidate("f0");
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      std::mt19937 rng(t);
+      for (int i = 0; i < 400; ++i) {
+        const uint64_t offset = (rng() % 8) * 512;
+        auto loader = []() -> Result<std::string> {
+          return std::string(512, 'r');
+        };
+        auto r = buffer.Get("f0", offset, crypto::kZeroHash, loader);
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(r.value()->size(), 512u);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  invalidator.join();
+  buffer.Invalidate("f0");
+  EXPECT_EQ(buffer.bytes_used(), buffer.ResidentBytes());
+  EXPECT_EQ(buffer.ResidentBytes(), 0u);
+}
+
+// --- lifecycle: compaction's purge must sweep every cache layer ------------
+
+TEST(ReadCacheLifecycleTest, ObsoleteFilePurgeEvictsBufferAndTreeHandles) {
+  Options o = BufferOptions();
+  auto db = ElsmDb::Create(o);
+  ASSERT_TRUE(db.ok());
+  auto& store = *db.value();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store.Put(Key(i), "gen0-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(store.CompactAll().ok());
+  // Populate block cache + tree-handle cache against generation 0.
+  for (int i = 0; i < 200; i += 5) {
+    auto r = store.GetVerified(Key(i));
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().record.has_value());
+  }
+  EXPECT_GT(store.read_cache_stats().misses, 0u);
+  EXPECT_GT(store.cached_tree_handles(), 0u);
+
+  // Generation 1 rewrites the level stack; the old SSTables and sidecars
+  // retire through the tracker purge, which must sweep the caches.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store.Put(Key(i), "gen1-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(store.CompactAll().ok());
+  EXPECT_GT(store.read_cache_stats().invalidations, 0u);
+  // Only handles for live sidecars may remain (one per non-empty level).
+  size_t live_trees = 0;
+  for (const auto& level : store.engine().levels()) {
+    if (!level.tree_file.empty()) ++live_trees;
+  }
+  EXPECT_LE(store.cached_tree_handles(), live_trees);
+
+  // Reads against the new generation verify cleanly (nothing stale served).
+  for (int i = 0; i < 200; i += 5) {
+    auto r = store.GetVerified(Key(i));
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().record.has_value());
+    EXPECT_EQ(r.value().record->value, "gen1-" + std::to_string(i));
+  }
+}
+
+// --- warm-hit budget: zero I/O, zero path re-hashing -----------------------
+
+TEST(ReadCacheCounterTest, WarmVerifiedGetSkipsIoAndPathHashing) {
+  Options o = BufferOptions();
+  auto db = ElsmDb::Create(o);
+  ASSERT_TRUE(db.ok());
+  auto& store = *db.value();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(store.Put(Key(i), "value-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(store.CompactAll().ok());
+
+  const std::string hot = Key(137);
+  auto cold = store.GetVerified(hot);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(cold.value().verified);
+  const auto cold_counters = store.enclave().counters();
+  const auto cold_paths = store.proof_path_cache_stats();
+  EXPECT_GT(cold_paths.path_nodes_hashed, 0u);
+
+  auto warm = store.GetVerified(hot);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm.value().verified);
+  ASSERT_TRUE(warm.value().record.has_value());
+  EXPECT_EQ(warm.value().record->value, "value-137");
+  const auto warm_counters = store.enclave().counters();
+  const auto warm_paths = store.proof_path_cache_stats();
+
+  // Warm hit: no filesystem reads, no world switches for block loads, and
+  // the Merkle climb short-circuits at the cached leaf — zero path nodes
+  // re-hashed. Only the per-record chain hash (a few dozen bytes) remains.
+  EXPECT_EQ(warm_counters.file_bytes_read, cold_counters.file_bytes_read);
+  EXPECT_EQ(warm_counters.ocalls, cold_counters.ocalls);
+  EXPECT_EQ(warm_paths.path_nodes_hashed, cold_paths.path_nodes_hashed);
+  EXPECT_GT(warm_paths.hits, cold_paths.hits);
+  const uint64_t warm_hashed =
+      warm_counters.bytes_hashed - cold_counters.bytes_hashed;
+  EXPECT_LT(warm_hashed, 512u);
+  const auto cache = store.read_cache_stats();
+  EXPECT_GT(cache.hits, 0u);
+}
+
+TEST(ReadCacheCounterTest, PathCacheDisabledStillVerifies) {
+  Options o = BufferOptions();
+  o.proof_path_cache_entries = 0;
+  auto db = ElsmDb::Create(o);
+  ASSERT_TRUE(db.ok());
+  auto& store = *db.value();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store.Put(Key(i), "v").ok());
+  }
+  ASSERT_TRUE(store.CompactAll().ok());
+  for (int pass = 0; pass < 2; ++pass) {
+    auto r = store.GetVerified(Key(42));
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().record.has_value());
+  }
+  EXPECT_EQ(store.proof_path_cache_stats().lookups, 0u);
+}
+
+// --- tamper: cached hits stay safe, dropped caches fail closed -------------
+
+TEST(ReadCacheTamperTest, CorruptedFileFailsClosedOnceCachesDrop) {
+  Options o = BufferOptions();
+  auto platform = std::make_shared<TrustedPlatform>();
+  auto enclave = std::make_shared<sgx::Enclave>(o.cost_model, true);
+  auto fs = std::make_shared<storage::SimFs>(enclave);
+  auto db = ElsmDb::Open(o, fs, platform);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(db.value()->Put(Key(i), "payload-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(db.value()->CompactAll().ok());
+  const std::string hot = Key(77);
+  ASSERT_TRUE(db.value()->GetVerified(hot).ok());  // warms every cache
+
+  // The host corrupts every data block of every SSTable on "disk".
+  for (const auto& level : db.value()->engine().levels()) {
+    for (const auto& file : level.files) {
+      auto blob = fs->MutableBlob(file.name);
+      ASSERT_NE(blob, nullptr);
+      for (const auto& block : file.blocks) {
+        (*blob)[block.offset] ^= 0x01;
+      }
+    }
+  }
+
+  // A warm hit still serves: its bytes were verified against the sealed
+  // digest before admission, and a hit performs no I/O to re-read the
+  // now-corrupt file.
+  auto warm = db.value()->GetVerified(hot);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.value().record->value, "payload-77");
+
+  // Reopen drops every cache; the same read must now fail closed at the
+  // digest check instead of serving corrupt bytes.
+  ASSERT_TRUE(db.value()->Close().ok());
+  db.value().reset();
+  auto reopened = ElsmDb::Open(o, fs, platform);
+  ASSERT_TRUE(reopened.ok());
+  auto tampered = reopened.value()->GetVerified(hot);
+  ASSERT_FALSE(tampered.ok());
+  EXPECT_TRUE(tampered.status().IsAuthFailure());
+}
+
+}  // namespace
+}  // namespace elsm
