@@ -5,7 +5,7 @@
 //   $ ./build/examples/ycsb_tool [workload] [engine] [records] [ops]
 //         (plus optional --shards=N --fanout-threads=N
 //          --backend={sim,posix} --dir=PATH
-//          --write-threads=N --sync-interval-us=U
+//          --write-threads=N --read-threads=N --sync-interval-us=U
 //          --fault-rate=R --fault-seed=S anywhere in argv)
 //   $ ./build/examples/ycsb_tool A p2 20000 10000
 //   $ ./build/examples/ycsb_tool A p2 20000 10000 --shards=4
@@ -33,6 +33,15 @@
 // Options::wal_sync_interval_us, the window a group-commit leader lingers
 // to absorb late joiners. Baselines (eleos, btree) are single-writer and
 // ignore --write-threads.
+//
+// --read-threads=N (N > 1) splits the evaluation phase across N concurrent
+// threads (each drives ops/N operations from its own deterministic op
+// stream), so the run phase exercises the concurrent read path — sharded
+// read-buffer locks, single-flight miss collapsing, and batched MultiRead
+// under contention. Stats are merged across threads; baselines (eleos,
+// btree) are single-threaded and ignore it. An `io:` line after the run
+// reports the batched-I/O telemetry: MultiRead batches and mean sub-reads
+// per batch, the io_uring vs pread split, and engine readahead hits.
 //
 // --fault-rate=R (R in (0,1]) wraps every eLSM disk in storage::FaultFs
 // with a seeded probabilistic transient-error stream: each fs op fails
@@ -115,6 +124,7 @@ int main(int argc, char** argv) {
   uint32_t shards = 1;
   uint32_t fanout_threads = 0;
   uint32_t write_threads = 1;
+  uint32_t read_threads = 1;
   uint64_t sync_interval_us = 0;
   const char* backend_name = "sim";
   std::string dir;
@@ -138,6 +148,10 @@ int main(int argc, char** argv) {
       write_threads = uint32_t(std::min(strtoul(argv[i] + 16, nullptr, 10),
                                         64ul));
       if (write_threads == 0) write_threads = 1;
+    } else if (std::strncmp(argv[i], "--read-threads=", 15) == 0) {
+      read_threads = uint32_t(std::min(strtoul(argv[i] + 15, nullptr, 10),
+                                       64ul));
+      if (read_threads == 0) read_threads = 1;
     } else if (std::strncmp(argv[i], "--sync-interval-us=", 19) == 0) {
       sync_interval_us = strtoull(argv[i] + 19, nullptr, 10);
     } else if (std::strncmp(argv[i], "--fanout-threads=", 17) == 0) {
@@ -282,6 +296,12 @@ int main(int argc, char** argv) {
                  engine_name);
     write_threads = 1;
   }
+  if (read_threads > 1 && db == nullptr && sharded == nullptr) {
+    std::fprintf(stderr,
+                 "--read-threads ignored: engine %s is single-threaded\n",
+                 engine_name);
+    read_threads = 1;
+  }
 
   using WallClock = std::chrono::steady_clock;
   const uint64_t load_start = kv->now_ns();
@@ -343,8 +363,49 @@ int main(int argc, char** argv) {
               agg_ops / double(write_threads), write_threads,
               (unsigned long long)load_failed);
 
+  // Snapshot the batched-I/O counters so the io: line prices the run phase
+  // only (the load phase's flush/compaction reads are excluded).
+  storage::ResetGlobalIoStats();
   const auto run_wall_start = WallClock::now();
-  auto stats = runner.Run(*kv);
+  Result<RunStats> stats = Status::Ok();
+  if (read_threads > 1) {
+    // Each thread drives its own deterministic op stream (seed 42+t) for
+    // ops/N operations against the shared store, then the per-thread stats
+    // merge — the run phase becomes a concurrent-reader stress of the
+    // sharded cache locks, single-flight collapsing, and MultiRead batches.
+    std::vector<std::thread> readers;
+    std::vector<Result<RunStats>> parts(read_threads, Status::Ok());
+    readers.reserve(read_threads);
+    for (uint32_t t = 0; t < read_threads; ++t) {
+      readers.emplace_back([&, t] {
+        WorkloadSpec sub = spec;
+        sub.operation_count = ops / read_threads +
+                              (t < ops % read_threads ? 1 : 0);
+        YcsbRunner part_runner(sub, 42 + t);
+        parts[t] = part_runner.Run(*kv);
+      });
+    }
+    for (auto& r : readers) r.join();
+    RunStats merged;
+    for (uint32_t t = 0; t < read_threads; ++t) {
+      if (!parts[t].ok()) {
+        stats = parts[t].status();
+        break;
+      }
+      const RunStats& p = parts[t].value();
+      merged.overall.Merge(p.overall);
+      merged.reads.Merge(p.reads);
+      merged.writes.Merge(p.writes);
+      merged.scans.Merge(p.scans);
+      merged.ops += p.ops;
+      merged.not_found += p.not_found;
+      merged.failures += p.failures;
+      merged.sim_ns = std::max(merged.sim_ns, p.sim_ns);
+    }
+    if (stats.ok()) stats = std::move(merged);
+  } else {
+    stats = runner.Run(*kv);
+  }
   if (!stats.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
                  stats.status().ToString().c_str());
@@ -355,12 +416,50 @@ int main(int argc, char** argv) {
                                                 run_wall_start)
           .count();
   PrintStats("run", stats.value());
-  std::printf("run phase: %.2f wall ms (%.0f ops/s, backend=%s)\n",
+  std::printf("run phase: %.2f wall ms (%.0f ops/s, threads=%u, "
+              "backend=%s)\n",
               run_wall_ms,
               run_wall_ms > 0
                   ? double(stats.value().ops) * 1e3 / run_wall_ms
                   : 0.0,
-              backend_name);
+              read_threads, backend_name);
+
+  // Batched-I/O telemetry for the run phase: MultiRead batches and their
+  // mean width, how they executed (io_uring vs the preadv/pread fallback),
+  // and how often the engine's readahead satisfied a block read.
+  if (db != nullptr || sharded != nullptr) {
+    const storage::IoStats io = storage::GlobalIoStats();
+    uint64_t mg_batches = 0;
+    uint64_t mg_blocks = 0;
+    uint64_t ra_blocks = 0;
+    uint64_t ra_hits = 0;
+    auto add_engine = [&](const lsm::EngineStats& es) {
+      mg_batches += es.multiget_batches.load();
+      mg_blocks += es.multiget_batched_blocks.load();
+      ra_blocks += es.readahead_blocks.load();
+      ra_hits += es.readahead_hits.load();
+    };
+    if (sharded != nullptr) {
+      for (uint32_t i = 0; i < sharded->num_shards(); ++i) {
+        add_engine(sharded->shard(i).engine().stats());
+      }
+    } else {
+      add_engine(db->engine().stats());
+    }
+    std::printf("io: multiread-batches=%llu sub-reads/batch=%.2f "
+                "uring=%llu pread=%llu multiget-blocks=%llu "
+                "readahead-hits=%llu/%llu\n",
+                (unsigned long long)io.multiread_batches,
+                io.multiread_batches > 0
+                    ? double(io.multiread_subreads) /
+                          double(io.multiread_batches)
+                    : 0.0,
+                (unsigned long long)io.uring_batches,
+                (unsigned long long)io.pread_batches,
+                (unsigned long long)(mg_batches > 0 ? mg_blocks : 0),
+                (unsigned long long)ra_hits,
+                (unsigned long long)(ra_blocks + mg_blocks));
+  }
 
   // Health line: how the retry/degradation machinery fared. Always printed
   // for eLSM engines — all-zero without --fault-rate, the absorbed/

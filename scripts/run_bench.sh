@@ -66,6 +66,7 @@ FIG_BENCHES=(
   fig7b_compaction_onoff
   fig8_write_buffer
   fig_backend_wallclock
+  fig_batched_read
   fig_fanout
   fig_group_commit
   fig_manifest_scaling

@@ -32,6 +32,9 @@ lsm::LsmOptions MakeEngineOptions(const Options& o) {
   eo.io_retry = o.io_retry;
   eo.read_buffer_bytes = o.read_buffer_bytes;
   eo.read_cache_shards = o.read_cache_shards;
+  eo.multiget_batching = o.multiget_batching;
+  eo.scan_readahead_blocks = o.scan_readahead_blocks;
+  eo.compaction_readahead_files = o.compaction_readahead_files;
   // The facade persists the manifest; compacted-away files may only be
   // unlinked after the manifest dropping them is durable (crash safety),
   // so the engine parks them and the facade purges post-persist.
@@ -913,6 +916,94 @@ Result<ElsmDb::VerifiedRecord> ElsmDb::GetVerified(std::string_view key,
     if (!s.ok()) return s;
   }
   RecordOpStat(&OpStats::get, enclave_->now_ns() - start);
+  return out;
+}
+
+std::vector<Result<ElsmDb::VerifiedRecord>> ElsmDb::MultiGetVerified(
+    const std::vector<std::string>& keys, uint64_t ts_max) {
+  std::vector<Result<VerifiedRecord>> out;
+  out.reserve(keys.size());
+  if (keys.empty()) return out;
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
+  const uint64_t start = enclave_->now_ns();
+  // One ECall covers the whole batch: the boundary crossing is the part a
+  // batched API genuinely amortizes.
+  enclave_->ChargeEcall();
+  std::vector<std::string> lookup_keys;
+  lookup_keys.reserve(keys.size());
+  for (const std::string& key : keys) {
+    lookup_keys.push_back(TransformKey(key));
+  }
+
+  auto items = engine_->MultiGet(lookup_keys, ts_max);
+  const bool verify = options_.mode == Mode::kP2 &&
+                      options_.authenticate_data && options_.verify_reads;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (!items[i].status.ok()) {
+      out.push_back(items[i].status);
+      continue;
+    }
+    VerifiedRecord rec;
+    if (verify) {
+      // Every response carries the same snapshot; each key is assembled
+      // and verified independently against it, exactly like GetVerified.
+      const std::vector<lsm::LevelMeta>& levels =
+          items[i].response.snapshot->levels();
+      auto assembled = assembler_->AssembleGet(items[i].response, levels);
+      if (!assembled.ok()) {
+        out.push_back(assembled.status());
+        continue;
+      }
+      rec.proof_bytes = assembled.value().proof_bytes;
+      auto verified = verifier_.VerifyGet(lookup_keys[i], ts_max,
+                                          assembled.value(), levels);
+      if (!verified.ok()) {
+        out.push_back(verified.status());
+        continue;
+      }
+      rec.record = std::move(verified).value();
+      rec.verified = true;
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        op_stats_.proof_bytes += rec.proof_bytes;
+        ++op_stats_.verified_ops;
+      }
+    } else {
+      rec.record = UnverifiedResult(items[i].response);
+    }
+    if (rec.record.has_value()) {
+      Status s = UntransformRecord(&*rec.record);
+      if (!s.ok()) {
+        out.push_back(s);
+        continue;
+      }
+    }
+    out.push_back(std::move(rec));
+  }
+  // One histogram sample per key, sharing the batch's wall time evenly —
+  // keeps get-latency sample counts comparable with sequential callers.
+  const uint64_t elapsed = enclave_->now_ns() - start;
+  const uint64_t per_key = elapsed / keys.size();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    RecordOpStat(&OpStats::get, per_key);
+  }
+  return out;
+}
+
+Result<std::vector<std::optional<std::string>>> ElsmDb::MultiGet(
+    const std::vector<std::string>& keys) {
+  auto verified = MultiGetVerified(keys, kLatest);
+  std::vector<std::optional<std::string>> out;
+  out.reserve(verified.size());
+  for (auto& result : verified) {
+    if (!result.ok()) return result.status();  // fail closed in aggregate
+    auto& record = result.value().record;
+    if (!record.has_value() || record->deleted()) {
+      out.emplace_back(std::nullopt);
+    } else {
+      out.emplace_back(std::move(record->value));
+    }
+  }
   return out;
 }
 

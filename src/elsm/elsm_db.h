@@ -95,6 +95,20 @@ class ElsmDb {
   Result<VerifiedRecord> GetVerified(std::string_view key,
                                      uint64_t ts_max = kLatest);
 
+  // Batched point lookups: all keys resolve against ONE engine snapshot and
+  // the engine coalesces their cache-missing blocks into Fs::MultiRead
+  // batches (see Options::multiget_batching). Results are in key order;
+  // each key is assembled and verified independently, exactly like
+  // GetVerified — per-key error isolation, so one tampered block fails
+  // only the keys that need it.
+  std::vector<Result<VerifiedRecord>> MultiGetVerified(
+      const std::vector<std::string>& keys, uint64_t ts_max = kLatest);
+
+  // Value-only MultiGet (nullopt = authenticated miss). Fail-closed in
+  // aggregate: any per-key error fails the whole call.
+  Result<std::vector<std::optional<std::string>>> MultiGet(
+      const std::vector<std::string>& keys);
+
   // Range query; completeness-verified in P2 mode (§5.4).
   Result<std::vector<lsm::Record>> Scan(std::string_view k1,
                                         std::string_view k2);
@@ -143,6 +157,8 @@ class ElsmDb {
     const storage::ReadBuffer* buffer = engine_->read_buffer();
     return buffer != nullptr ? buffer->stats() : storage::ReadBufferStats{};
   }
+  // Drops every cached block (bench support: cold-read passes).
+  void ClearReadCache() { engine_->ClearReadCache(); }
   // Verifier-side Merkle proof-path node cache counters.
   auth::ProofPathCacheStats proof_path_cache_stats() const {
     return verifier_.path_cache_stats();

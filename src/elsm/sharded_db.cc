@@ -635,11 +635,17 @@ Result<std::vector<std::optional<std::string>>> ShardedDb::MultiGet(
   std::vector<std::optional<std::string>> out(keys.size());
   // Tasks write disjoint slots of `out` (each position belongs to exactly
   // one shard group), so no synchronization beyond the fork-join is needed.
+  // Each shard answers its whole key group with ONE batched MultiGet: one
+  // snapshot, one ECall, and cache-missing blocks coalesced into
+  // Fs::MultiRead batches — instead of a sequential Get per key.
   Status s = FanOut(targets, [&](size_t, uint32_t shard) {
-    for (size_t idx : groups[shard]) {
-      auto got = shards_[shard]->Get(keys[idx]);
-      if (!got.ok()) return got.status();
-      out[idx] = std::move(got).value();
+    std::vector<std::string> sub;
+    sub.reserve(groups[shard].size());
+    for (size_t idx : groups[shard]) sub.push_back(keys[idx]);
+    auto got = shards_[shard]->MultiGet(sub);
+    if (!got.ok()) return got.status();
+    for (size_t k = 0; k < groups[shard].size(); ++k) {
+      out[groups[shard][k]] = std::move(got.value()[k]);
     }
     return Status::Ok();
   });

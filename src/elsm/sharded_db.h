@@ -181,6 +181,10 @@ class ShardedDb {
     }
     return total;
   }
+  // Drops every shard's cached blocks (bench support: cold-read passes).
+  void ClearReadCache() {
+    for (const auto& shard : shards_) shard->ClearReadCache();
+  }
   // Proof-path node-cache counters summed across every shard's verifier.
   auth::ProofPathCacheStats proof_path_cache_stats() const {
     auth::ProofPathCacheStats total;

@@ -405,6 +405,38 @@ Result<std::string> FaultFs::Read(const std::string& name, uint64_t offset,
   return base_->Read(name, offset, len);
 }
 
+std::vector<Result<std::string>> FaultFs::MultiRead(
+    const std::vector<ReadRequest>& requests) const {
+  std::vector<Result<std::string>> out(
+      requests.size(), Result<std::string>(Status::IOError("unset")));
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  // Walk the transient schedule one sub-read at a time — a batch of N is N
+  // eligible ops, exactly like N sequential Reads — then forward whatever
+  // survived as one base batch. Reads stay crash-immune.
+  std::vector<ReadRequest> forward;
+  std::vector<size_t> forward_idx;
+  forward.reserve(requests.size());
+  forward_idx.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!crashed_) {
+      Status ts = MaybeTransientLocked("multiread", OpClass::kRead, nullptr);
+      if (!ts.ok()) {
+        out[i] = Result<std::string>(std::move(ts));
+        continue;
+      }
+    }
+    forward.push_back(requests[i]);
+    forward_idx.push_back(i);
+  }
+  if (!forward.empty()) {
+    auto got = base_->MultiRead(forward);
+    for (size_t k = 0; k < forward_idx.size(); ++k) {
+      out[forward_idx[k]] = std::move(got[k]);
+    }
+  }
+  return out;
+}
+
 Result<std::string> FaultFs::ReadAll(const std::string& name) const {
   std::lock_guard<std::mutex> lock(fault_mu_);
   if (!crashed_) {

@@ -124,6 +124,11 @@ class FaultFs : public Fs {
   // --- reads: forwarded; crash-immune but transient-eligible ---------------
   Result<std::string> Read(const std::string& name, uint64_t offset,
                            uint64_t len) const override;
+  // Each sub-read is one transient-eligible op (so an error-point walk
+  // steps through a batch exactly like the equivalent sequential reads);
+  // non-faulted sub-reads forward to the base backend as one batch.
+  std::vector<Result<std::string>> MultiRead(
+      const std::vector<ReadRequest>& requests) const override;
   Result<std::string> ReadAll(const std::string& name) const override;
   Result<uint64_t> FileSize(const std::string& name) const override;
   bool Exists(const std::string& name) const override;

@@ -1,14 +1,67 @@
 #include "storage/fs.h"
 
+#include <atomic>
+#include <limits>
+
 #include "storage/posix_fs.h"
 #include "storage/simfs.h"
 
 namespace elsm::storage {
 
+namespace {
+
+// Process-wide so multi-shard stores and tools aggregate without plumbing.
+std::atomic<uint64_t> g_multiread_batches{0};
+std::atomic<uint64_t> g_multiread_subreads{0};
+std::atomic<uint64_t> g_uring_batches{0};
+std::atomic<uint64_t> g_pread_batches{0};
+
+}  // namespace
+
+IoStats GlobalIoStats() {
+  IoStats s;
+  s.multiread_batches = g_multiread_batches.load(std::memory_order_relaxed);
+  s.multiread_subreads = g_multiread_subreads.load(std::memory_order_relaxed);
+  s.uring_batches = g_uring_batches.load(std::memory_order_relaxed);
+  s.pread_batches = g_pread_batches.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetGlobalIoStats() {
+  g_multiread_batches.store(0, std::memory_order_relaxed);
+  g_multiread_subreads.store(0, std::memory_order_relaxed);
+  g_uring_batches.store(0, std::memory_order_relaxed);
+  g_pread_batches.store(0, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void NoteMultiReadBatch(size_t subreads) {
+  g_multiread_batches.fetch_add(1, std::memory_order_relaxed);
+  g_multiread_subreads.fetch_add(subreads, std::memory_order_relaxed);
+}
+
+void NoteUringBatch() { g_uring_batches.fetch_add(1, std::memory_order_relaxed); }
+void NotePreadBatch() { g_pread_batches.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace internal
+
+std::vector<Result<std::string>> Fs::MultiRead(
+    const std::vector<ReadRequest>& requests) const {
+  internal::NoteMultiReadBatch(requests.size());
+  std::vector<Result<std::string>> out;
+  out.reserve(requests.size());
+  for (const ReadRequest& req : requests) {
+    out.push_back(Read(req.name, req.offset, req.len));
+  }
+  return out;
+}
+
 Result<std::string> Fs::ReadAll(const std::string& name) const {
-  auto size = FileSize(name);
-  if (!size.ok()) return size.status();
-  return Read(name, 0, size.value());
+  // Read to EOF in one call (every backend clamps len to the file size), so
+  // a concurrent Rename/Truncate between a separate FileSize and Read can
+  // never hand back a torn or short result.
+  return Read(name, 0, std::numeric_limits<uint64_t>::max());
 }
 
 std::shared_ptr<Fs> MakeFs(BackendKind kind, const std::string& dir,

@@ -47,6 +47,35 @@
 
 namespace elsm::storage {
 
+// One sub-read of a MultiRead batch: `len` bytes of `name` starting at
+// `offset`. Semantics per request are exactly those of Fs::Read — a read
+// past EOF fails, a read reaching EOF is clamped to the available bytes.
+struct ReadRequest {
+  std::string name;
+  uint64_t offset = 0;
+  uint64_t len = 0;
+};
+
+// Process-wide counters for the batched read path, surfaced by ycsb_tool's
+// `io:` line and asserted by tests. Plain totals, not rates.
+struct IoStats {
+  uint64_t multiread_batches = 0;   // MultiRead calls reaching a backend
+  uint64_t multiread_subreads = 0;  // total sub-reads across those batches
+  uint64_t uring_batches = 0;       // PosixFs batches served by io_uring
+  uint64_t pread_batches = 0;       // PosixFs batches served by pread loop
+};
+
+IoStats GlobalIoStats();
+void ResetGlobalIoStats();
+
+namespace internal {
+// Counter hooks for concrete backends (FaultFs forwards, so only the base
+// backend it wraps notes the batch — batches are not double-counted).
+void NoteMultiReadBatch(size_t subreads);
+void NoteUringBatch();
+void NotePreadBatch();
+}  // namespace internal
+
 class Fs {
  public:
   explicit Fs(std::shared_ptr<sgx::Enclave> enclave)
@@ -65,6 +94,14 @@ class Fs {
 
   virtual Result<std::string> Read(const std::string& name, uint64_t offset,
                                    uint64_t len) const = 0;
+  // Vectored batch read: one Result per request, in request order, each
+  // byte-identical (contents, error text, and cost charges) to a sequential
+  // Read of the same range. Failures are isolated per sub-read — one bad
+  // request never poisons its batch-mates. Backends may overlap the
+  // underlying I/O (PosixFs uses io_uring when available); the default is a
+  // correct sequential loop.
+  virtual std::vector<Result<std::string>> MultiRead(
+      const std::vector<ReadRequest>& requests) const;
   virtual Result<std::string> ReadAll(const std::string& name) const;
   virtual Result<uint64_t> FileSize(const std::string& name) const = 0;
 

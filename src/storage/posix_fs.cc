@@ -5,9 +5,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
+#include <map>
+
+#include "storage/uring_reader.h"
 
 namespace elsm::storage {
 namespace fsys = std::filesystem;
@@ -54,8 +58,7 @@ std::string ErrnoName(int err) {
 // off the class). EIO stays a permanent IOError on purpose: after a failed
 // fsync the kernel may have dropped the dirty pages, so "retry the fsync"
 // would falsely report durability (the fsyncgate trap).
-Status Errno(const std::string& op, const std::string& name) {
-  const int err = errno;
+Status ErrnoValue(int err, const std::string& op, const std::string& name) {
   std::string m =
       op + " " + name + ": " + ErrnoName(err) + " (" + std::strerror(err) + ")";
   switch (err) {
@@ -71,6 +74,10 @@ Status Errno(const std::string& op, const std::string& name) {
     default:
       return Status::IOError(std::move(m));
   }
+}
+
+Status Errno(const std::string& op, const std::string& name) {
+  return ErrnoValue(errno, op, name);
 }
 
 // open(2) with the EINTR retry the blocking syscalls below get; open can
@@ -96,10 +103,32 @@ Status WriteWholeFd(int fd, const std::string& name, std::string_view data) {
   return Status::Ok();
 }
 
+std::atomic<int> g_page_cache_policy{int(PageCachePolicy::kKernel)};
+
+bool BypassPageCache() {
+  return PageCachePolicy(g_page_cache_policy.load(
+             std::memory_order_relaxed)) == PageCachePolicy::kBypass;
+}
+
+// kBypass drop-behind: release the page-cache footprint of a finished
+// read. Page-rounded so partially covered edge pages (which a neighbouring
+// concurrent read may be using) still get dropped only when clean — the
+// kernel skips dirty or locked pages, keeping this purely advisory.
+void DropBehind(int fd, uint64_t offset, uint64_t len) {
+  if (len == 0) return;
+  constexpr uint64_t kPage = 4096;
+  const uint64_t lo = offset / kPage * kPage;
+  const uint64_t hi = (offset + len + kPage - 1) / kPage * kPage;
+  (void)posix_fadvise(fd, off_t(lo), off_t(hi - lo), POSIX_FADV_DONTNEED);
+}
+
 Result<std::string> ReadRange(const std::string& path, const std::string& name,
                               uint64_t offset, uint64_t len) {
   const int fd = OpenRetry(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) return Status::IOError("no such file: " + name);
+  if (BypassPageCache()) {
+    (void)posix_fadvise(fd, 0, 0, POSIX_FADV_RANDOM);
+  }
   struct stat st {};
   if (::fstat(fd, &st) != 0) {
     ::close(fd);
@@ -124,6 +153,7 @@ Result<std::string> ReadRange(const std::string& path, const std::string& name,
     if (got == 0) break;  // concurrently truncated: return what exists
     done += uint64_t(got);
   }
+  if (BypassPageCache()) DropBehind(fd, offset, done);
   ::close(fd);
   out.resize(done);
   return out;
@@ -167,7 +197,45 @@ int TruncateRetry(const char* path, off_t size) {
   return r;
 }
 
+std::atomic<int> g_multiread_path{int(MultiReadPath::kAuto)};
+
+// Runs the batch with plain pread, resuming each op from `done` — also the
+// recovery path if the ring breaks mid-batch. Semantics match ReadRange's
+// loop: EINTR retries, got == 0 (concurrent truncate / EOF) leaves the op
+// short with err == 0.
+void PreadOps(std::vector<uring::ReadOp>& ops) {
+  for (uring::ReadOp& op : ops) {
+    while (op.done < op.len && op.err == 0) {
+      const ssize_t got = ::pread(op.fd, op.buf + op.done, op.len - op.done,
+                                  off_t(op.offset + op.done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        op.err = errno;
+        break;
+      }
+      if (got == 0) break;
+      op.done += size_t(got);
+    }
+  }
+}
+
 }  // namespace
+
+void SetPosixMultiReadPath(MultiReadPath path) {
+  g_multiread_path.store(int(path), std::memory_order_relaxed);
+}
+
+MultiReadPath PosixMultiReadPath() {
+  return MultiReadPath(g_multiread_path.load(std::memory_order_relaxed));
+}
+
+void SetPosixPageCachePolicy(PageCachePolicy policy) {
+  g_page_cache_policy.store(int(policy), std::memory_order_relaxed);
+}
+
+PageCachePolicy PosixPageCachePolicy() {
+  return PageCachePolicy(g_page_cache_policy.load(std::memory_order_relaxed));
+}
 
 PosixFs::PosixFs(std::shared_ptr<sgx::Enclave> enclave, std::string root)
     : Fs(std::move(enclave)), root_(std::move(root)) {
@@ -317,6 +385,108 @@ Result<std::string> PosixFs::Read(const std::string& name, uint64_t offset,
   if (path.empty()) return Status::InvalidArgument("bad file name: " + name);
   auto out = ReadRange(path, name, offset, len);
   if (out.ok()) enclave_->ChargeFileRead(out.value().size());
+  return out;
+}
+
+std::vector<Result<std::string>> PosixFs::MultiRead(
+    const std::vector<ReadRequest>& requests) const {
+  internal::NoteMultiReadBatch(requests.size());
+  std::vector<Result<std::string>> out(
+      requests.size(), Result<std::string>(Status::IOError("unset")));
+  if (!root_status_.ok()) {
+    std::fill(out.begin(), out.end(),
+              Result<std::string>(root_status_));
+    return out;
+  }
+
+  // Validate names and group sub-reads by file so each distinct file pays
+  // one open+fstat for the whole batch.
+  std::map<std::string, std::vector<size_t>> by_name;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const std::string path = PathFor(requests[i].name);
+    if (path.empty()) {
+      out[i] = Result<std::string>(
+          Status::InvalidArgument("bad file name: " + requests[i].name));
+      continue;
+    }
+    by_name[requests[i].name].push_back(i);
+  }
+
+  std::vector<int> fds;
+  std::vector<std::string> bufs(requests.size());
+  std::vector<uring::ReadOp> ops;
+  std::vector<size_t> op_req;  // ops[k] serves requests[op_req[k]]
+  const bool bypass = BypassPageCache();
+  for (const auto& [name, indices] : by_name) {
+    const std::string path = PathFor(name);
+    const int fd = OpenRetry(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      for (size_t i : indices) {
+        out[i] = Result<std::string>(Status::IOError("no such file: " + name));
+      }
+      continue;
+    }
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      const Status s = Errno("stat", name);
+      ::close(fd);
+      for (size_t i : indices) out[i] = Result<std::string>(s);
+      continue;
+    }
+    if (bypass) (void)posix_fadvise(fd, 0, 0, POSIX_FADV_RANDOM);
+    fds.push_back(fd);
+    const uint64_t size = uint64_t(st.st_size);
+    for (size_t i : indices) {
+      if (requests[i].offset > size) {
+        out[i] = Result<std::string>(
+            Status::IOError("read past EOF: " + name));
+        continue;
+      }
+      const uint64_t n =
+          std::min<uint64_t>(requests[i].len, size - requests[i].offset);
+      bufs[i].assign(n, '\0');
+      uring::ReadOp op;
+      op.fd = fd;
+      op.offset = requests[i].offset;
+      op.buf = bufs[i].data();
+      op.len = size_t(n);
+      ops.push_back(op);
+      op_req.push_back(i);
+    }
+  }
+
+  if (!ops.empty()) {
+    const bool want_uring = PosixMultiReadPath() == MultiReadPath::kAuto;
+    if (want_uring && uring::ExecuteReads(ops)) {
+      internal::NoteUringBatch();
+    } else {
+      // Either the fallback was forced or the ring is unusable; pread
+      // resumes each op from whatever `done` the ring already achieved.
+      PreadOps(ops);
+      internal::NotePreadBatch();
+    }
+    for (size_t k = 0; k < ops.size(); ++k) {
+      const size_t i = op_req[k];
+      if (ops[k].err != 0) {
+        out[i] = Result<std::string>(
+            ErrnoValue(ops[k].err, "pread", requests[i].name));
+        continue;
+      }
+      bufs[i].resize(ops[k].done);  // short read: concurrently truncated
+      out[i] = Result<std::string>(std::move(bufs[i]));
+    }
+    if (bypass) {
+      for (const uring::ReadOp& op : ops) {
+        DropBehind(op.fd, op.offset, op.done);
+      }
+    }
+  }
+  for (int fd : fds) ::close(fd);
+
+  // Charge in request order, exactly as the sequential loop would.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (out[i].ok()) enclave_->ChargeFileRead(out[i].value().size());
+  }
   return out;
 }
 

@@ -45,6 +45,28 @@
 
 namespace elsm::storage {
 
+// Process-wide selector for the PosixFs batched-read execution path.
+// kAuto prefers io_uring when built in and accepted by the kernel; kPread
+// forces the sequential pread loop (the benches' serialized baseline and
+// the tests' path-parity check). Semantics are identical on both paths.
+enum class MultiReadPath { kAuto, kPread };
+void SetPosixMultiReadPath(MultiReadPath path);
+MultiReadPath PosixMultiReadPath();
+
+// Process-wide page-cache policy for PosixFs data reads (Read/MultiRead).
+// kKernel (default) is plain buffered I/O: the kernel caches file pages
+// and runs its readahead heuristic. kBypass advises POSIX_FADV_RANDOM
+// before reading (no kernel readahead) and drops the touched range with
+// POSIX_FADV_DONTNEED afterwards, so the only read cache left is the
+// enclave's verified ReadBuffer and the only prefetcher is the engine's
+// batched readahead — the deployment-faithful setting for SGX, where the
+// host page cache is untrusted and double-caches what the verified cache
+// already holds. Purely advisory: results and charges are identical on
+// both policies. Blob/mmap handles and the write path are unaffected.
+enum class PageCachePolicy { kKernel, kBypass };
+void SetPosixPageCachePolicy(PageCachePolicy policy);
+PageCachePolicy PosixPageCachePolicy();
+
 class PosixFs : public Fs {
  public:
   // Creates `root` (and parents) if missing. A root that cannot be created
@@ -56,6 +78,11 @@ class PosixFs : public Fs {
 
   Result<std::string> Read(const std::string& name, uint64_t offset,
                            uint64_t len) const override;
+  // Native batch read: one open+fstat per distinct file, all sub-reads
+  // submitted through io_uring when available (pread loop otherwise).
+  // Per-request results, error texts, and enclave charges match Read.
+  std::vector<Result<std::string>> MultiRead(
+      const std::vector<ReadRequest>& requests) const override;
   Result<uint64_t> FileSize(const std::string& name) const override;
 
   Status Delete(const std::string& name) override;

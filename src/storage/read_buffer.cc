@@ -166,7 +166,13 @@ Result<std::shared_ptr<const std::string>> ReadBuffer::Get(
   // filesystem. The file read is a syscall, so enclave code pays a world
   // switch wherever the buffer lives.
   enclave_->ChargeOcall();
-  auto loaded = loader();
+  return FinishFlight(shard, key, file, expected_digest, flight, loader());
+}
+
+Result<std::shared_ptr<const std::string>> ReadBuffer::FinishFlight(
+    Shard& shard, const std::string& key, const std::string& file,
+    const crypto::Hash256& expected_digest,
+    const std::shared_ptr<Flight>& flight, Result<std::string> loaded) {
   std::shared_ptr<const std::string> block;
   Status status = loaded.status();
   if (status.ok()) {
@@ -202,6 +208,70 @@ Result<std::shared_ptr<const std::string>> ReadBuffer::Get(
   flight->cv.notify_all();
   if (!status.ok()) return status;
   return block;
+}
+
+std::vector<Result<std::shared_ptr<const std::string>>> ReadBuffer::GetBatch(
+    const std::vector<BatchRequest>& requests,
+    const BatchLoader& batch_loader, const SingleLoader& single_loader) {
+  using BlockResult = Result<std::shared_ptr<const std::string>>;
+  std::vector<BlockResult> out(requests.size(),
+                               BlockResult(Status::IOError("unset")));
+  struct Leader {
+    size_t index;
+    std::string key;
+    std::shared_ptr<Flight> flight;
+  };
+  std::vector<Leader> leaders;
+  std::vector<size_t> deferred;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const BatchRequest& req = requests[i];
+    const std::string key = CacheKey(req.file, req.offset, req.digest);
+    Shard& shard = ShardFor(req.file, req.offset);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      ++shard.stats.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      ChargeHit(it->second);
+      out[i] = BlockResult(it->second.block);
+      continue;
+    }
+    if (shard.flights.count(key) > 0) {
+      // Someone (possibly an earlier request of this very batch) is already
+      // loading these bytes; join that flight after the leaders are issued.
+      deferred.push_back(i);
+      continue;
+    }
+    ++shard.stats.misses;
+    auto flight = std::make_shared<Flight>();
+    shard.flights[key] = flight;
+    leaders.push_back(Leader{i, key, std::move(flight)});
+  }
+
+  if (!leaders.empty()) {
+    std::vector<size_t> leader_indices;
+    leader_indices.reserve(leaders.size());
+    for (const Leader& l : leaders) {
+      // One world switch per missed block, exactly as the sequential path.
+      enclave_->ChargeOcall();
+      leader_indices.push_back(l.index);
+    }
+    std::vector<Result<std::string>> loaded(
+        requests.size(), Result<std::string>(Status::IOError("not loaded")));
+    batch_loader(leader_indices, loaded);
+    for (Leader& l : leaders) {
+      const BatchRequest& req = requests[l.index];
+      out[l.index] =
+          FinishFlight(ShardFor(req.file, req.offset), l.key, req.file,
+                       req.digest, l.flight, std::move(loaded[l.index]));
+    }
+  }
+  for (size_t i : deferred) {
+    const BatchRequest& req = requests[i];
+    out[i] = Get(req.file, req.offset, req.digest,
+                 [&single_loader, i] { return single_loader(i); });
+  }
+  return out;
 }
 
 void ReadBuffer::Invalidate(const std::string& file) {

@@ -70,6 +70,32 @@ class ReadBuffer {
       const crypto::Hash256& expected_digest,
       const std::function<Result<std::string>()>& loader);
 
+  // One block of a GetBatch: the same (file, offset, digest) key as Get.
+  struct BatchRequest {
+    std::string file;
+    uint64_t offset = 0;
+    crypto::Hash256 digest{};
+  };
+  // batch_loader(leader_indices, out) fills out[i] (parallel to `requests`)
+  // for every index it is given — the engine backs it with one
+  // Fs::MultiRead. single_loader(i) is the sequential reload used by
+  // requests that instead join a load already in flight.
+  using BatchLoader = std::function<void(const std::vector<size_t>&,
+                                         std::vector<Result<std::string>>&)>;
+  using SingleLoader = std::function<Result<std::string>(size_t)>;
+
+  // Batched Get: classifies every request in one pass (cache hit / join an
+  // in-flight load / become a load leader), issues ONE batch_loader call
+  // covering all leaders, then finishes each leader's flight exactly like
+  // Get — per-block verify-before-admit, single-flight collapse, and
+  // digest-keyed admission are all preserved, and every per-block charge
+  // (hit, ocall, hash, copy) matches the sequential path. Results are in
+  // request order with per-request error isolation; duplicate keys within
+  // a batch collapse to one load.
+  std::vector<Result<std::shared_ptr<const std::string>>> GetBatch(
+      const std::vector<BatchRequest>& requests,
+      const BatchLoader& batch_loader, const SingleLoader& single_loader);
+
   // Drops every cached block of `file` (called when compaction deletes it)
   // and marks the file's in-flight loads so their results are returned to
   // callers but never installed.
@@ -121,6 +147,13 @@ class ReadBuffer {
 
   Shard& ShardFor(const std::string& file, uint64_t offset);
   void ChargeHit(const Entry& entry) const;
+  // Leader tail shared by Get and GetBatch: verify the loaded bytes, admit
+  // them (unless the flight was invalidated mid-load), publish the flight
+  // result and wake the waiters.
+  Result<std::shared_ptr<const std::string>> FinishFlight(
+      Shard& shard, const std::string& key, const std::string& file,
+      const crypto::Hash256& expected_digest,
+      const std::shared_ptr<Flight>& flight, Result<std::string> loaded);
   // Removes `key` from `shard` if resident, fixing accounting; returns true
   // if an entry was removed.
   static bool RemoveLocked(Shard& shard, const std::string& key);

@@ -38,6 +38,38 @@ Result<std::string> SimFs::Read(const std::string& name, uint64_t offset,
   return blob->substr(offset, n);
 }
 
+std::vector<Result<std::string>> SimFs::MultiRead(
+    const std::vector<ReadRequest>& requests) const {
+  internal::NoteMultiReadBatch(requests.size());
+  // Snapshot all blobs under one lock acquisition; shared_ptrs keep the
+  // contents stable if a writer replaces a file mid-batch.
+  std::vector<std::shared_ptr<const std::string>> blobs(requests.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      auto it = files_.find(requests[i].name);
+      if (it != files_.end()) blobs[i] = it->second;
+    }
+  }
+  std::vector<Result<std::string>> out;
+  out.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ReadRequest& req = requests[i];
+    if (blobs[i] == nullptr) {
+      out.push_back(Status::IOError("no such file: " + req.name));
+      continue;
+    }
+    if (req.offset > blobs[i]->size()) {
+      out.push_back(Status::IOError("read past EOF: " + req.name));
+      continue;
+    }
+    const uint64_t n = std::min<uint64_t>(req.len, blobs[i]->size() - req.offset);
+    enclave_->ChargeFileRead(n);
+    out.push_back(blobs[i]->substr(req.offset, n));
+  }
+  return out;
+}
+
 Result<uint64_t> SimFs::FileSize(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);

@@ -36,6 +36,11 @@ class SimFs : public Fs {
 
   Result<std::string> Read(const std::string& name, uint64_t offset,
                            uint64_t len) const override;
+  // Batched variant: one lock acquisition snapshots every blob, then each
+  // sub-read resolves with byte- and cost-identical semantics to Read, so
+  // batched and sequential runs stay deterministic-clock comparable.
+  std::vector<Result<std::string>> MultiRead(
+      const std::vector<ReadRequest>& requests) const override;
   Result<uint64_t> FileSize(const std::string& name) const override;
 
   Status Delete(const std::string& name) override;

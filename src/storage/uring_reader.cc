@@ -1,0 +1,242 @@
+#include "storage/uring_reader.h"
+
+#ifdef ELSM_HAVE_LIBURING
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#ifndef __NR_io_uring_setup
+#define __NR_io_uring_setup 425
+#endif
+#ifndef __NR_io_uring_enter
+#define __NR_io_uring_enter 426
+#endif
+
+namespace elsm::storage::uring {
+
+namespace {
+
+constexpr unsigned kQueueDepth = 64;
+
+int UringSetup(unsigned entries, io_uring_params* p) {
+  return int(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int UringEnter(int fd, unsigned to_submit, unsigned min_complete,
+               unsigned flags) {
+  return int(syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags,
+                     nullptr, 0));
+}
+
+// Set once a setup attempt fails with a "never going to work" errno, so
+// every later thread skips the probe. Transient failures (EMFILE/ENOMEM)
+// leave it unset and that thread just runs the pread fallback.
+std::atomic<bool> g_permanently_unavailable{false};
+
+// One ring per thread; submission and reaping need no locks. The kernel
+// writes the shared head/tail indices from its side, so crossings use
+// __atomic acquire/release on the mmap'd words (also keeps TSan honest).
+class Ring {
+ public:
+  Ring() {
+    io_uring_params params{};
+    fd_ = UringSetup(kQueueDepth, &params);
+    if (fd_ < 0) {
+      const int err = errno;
+      if (err == ENOSYS || err == EPERM || err == EACCES || err == EINVAL) {
+        g_permanently_unavailable.store(true, std::memory_order_relaxed);
+      }
+      return;
+    }
+    sq_len_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    cq_len_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) sq_len_ = cq_len_ = std::max(sq_len_, cq_len_);
+    sq_ptr_ = mmap(nullptr, sq_len_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_POPULATE, fd_, IORING_OFF_SQ_RING);
+    if (sq_ptr_ == MAP_FAILED) {
+      sq_ptr_ = nullptr;
+      Close();
+      return;
+    }
+    if (single_mmap) {
+      cq_ptr_ = sq_ptr_;
+    } else {
+      cq_ptr_ = mmap(nullptr, cq_len_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, fd_, IORING_OFF_CQ_RING);
+      if (cq_ptr_ == MAP_FAILED) {
+        cq_ptr_ = nullptr;
+        Close();
+        return;
+      }
+    }
+    sqes_len_ = params.sq_entries * sizeof(io_uring_sqe);
+    void* sqes = mmap(nullptr, sqes_len_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd_, IORING_OFF_SQES);
+    if (sqes == MAP_FAILED) {
+      Close();
+      return;
+    }
+    sqes_ = static_cast<io_uring_sqe*>(sqes);
+
+    char* sq = static_cast<char*>(sq_ptr_);
+    sq_head_ = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+    char* cq = static_cast<char*>(cq_ptr_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+    entries_ = params.sq_entries;
+    ok_ = true;
+  }
+
+  ~Ring() { Close(); }
+
+  bool ok() const { return ok_; }
+
+  bool Execute(std::vector<ReadOp>& ops) {
+    // `pending` holds indices of ops still needing (re)submission; EOF
+    // (res == 0), hard errors, and fully satisfied reads leave the set.
+    std::vector<size_t> pending;
+    pending.reserve(ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].len > ops[i].done) pending.push_back(i);
+    }
+    unsigned in_flight = 0;
+    while (!pending.empty() || in_flight > 0) {
+      unsigned submitted = 0;
+      while (!pending.empty() && in_flight + submitted < entries_) {
+        PushRead(ops[pending.back()], pending.back());
+        pending.pop_back();
+        ++submitted;
+      }
+      // Block for at least one completion so the loop always progresses.
+      const unsigned want = (in_flight + submitted) > 0 ? 1 : 0;
+      const int ret =
+          UringEnter(fd_, submitted, want, IORING_ENTER_GETEVENTS);
+      if (ret < 0) {
+        if (errno == EINTR) {
+          in_flight += submitted;  // submission may still have happened
+          continue;
+        }
+        return false;  // ring broke mid-batch; caller's fallback resumes
+      }
+      in_flight += submitted;
+      in_flight -= Reap(ops, pending);
+    }
+    return true;
+  }
+
+ private:
+  void PushRead(ReadOp& op, size_t index) {
+    const unsigned tail = *sq_tail_;  // we are the only submitter
+    const unsigned slot = tail & sq_mask_;
+    io_uring_sqe* sqe = &sqes_[slot];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = IORING_OP_READ;
+    sqe->fd = op.fd;
+    sqe->off = op.offset + op.done;
+    sqe->addr = reinterpret_cast<uint64_t>(op.buf + op.done);
+    sqe->len = static_cast<uint32_t>(op.len - op.done);
+    sqe->user_data = index;
+    sq_array_[slot] = slot;
+    __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+  }
+
+  // Drains every available CQE; ops needing another round (short read,
+  // EINTR/EAGAIN) go back on `pending`. Returns CQEs consumed.
+  unsigned Reap(std::vector<ReadOp>& ops, std::vector<size_t>& pending) {
+    unsigned head = *cq_head_;
+    const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+    unsigned reaped = 0;
+    while (head != tail) {
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      ReadOp& op = ops[cqe.user_data];
+      const int res = cqe.res;
+      if (res > 0) {
+        op.done += size_t(res);
+        if (op.done < op.len) pending.push_back(cqe.user_data);
+      } else if (res == -EINTR || res == -EAGAIN) {
+        pending.push_back(cqe.user_data);
+      } else if (res < 0) {
+        op.err = -res;
+      }
+      // res == 0 is EOF: leave `done` short, done with this op.
+      ++head;
+      ++reaped;
+    }
+    __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+    return reaped;
+  }
+
+  void Close() {
+    if (sqes_ != nullptr) munmap(sqes_, sqes_len_);
+    if (cq_ptr_ != nullptr && cq_ptr_ != sq_ptr_) munmap(cq_ptr_, cq_len_);
+    if (sq_ptr_ != nullptr) munmap(sq_ptr_, sq_len_);
+    if (fd_ >= 0) close(fd_);
+    sqes_ = nullptr;
+    cq_ptr_ = nullptr;
+    sq_ptr_ = nullptr;
+    fd_ = -1;
+    ok_ = false;
+  }
+
+  int fd_ = -1;
+  void* sq_ptr_ = nullptr;
+  void* cq_ptr_ = nullptr;
+  size_t sq_len_ = 0;
+  size_t cq_len_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  size_t sqes_len_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  unsigned entries_ = 0;
+  bool ok_ = false;
+};
+
+Ring* ThreadRing() {
+  if (g_permanently_unavailable.load(std::memory_order_relaxed)) {
+    return nullptr;
+  }
+  thread_local Ring ring;
+  return ring.ok() ? &ring : nullptr;
+}
+
+}  // namespace
+
+bool Available() { return ThreadRing() != nullptr; }
+
+bool ExecuteReads(std::vector<ReadOp>& ops) {
+  Ring* ring = ThreadRing();
+  if (ring == nullptr) return false;
+  return ring->Execute(ops);
+}
+
+}  // namespace elsm::storage::uring
+
+#else  // !ELSM_HAVE_LIBURING
+
+namespace elsm::storage::uring {
+
+bool Available() { return false; }
+bool ExecuteReads(std::vector<ReadOp>&) { return false; }
+
+}  // namespace elsm::storage::uring
+
+#endif  // ELSM_HAVE_LIBURING

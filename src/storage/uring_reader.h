@@ -1,0 +1,47 @@
+// Minimal io_uring batch-read executor for PosixFs::MultiRead.
+//
+// Talks to the kernel ABI directly (<linux/io_uring.h> + the three raw
+// syscalls) rather than through liburing, so the build needs no extra
+// library. Compile-time gated by ELSM_HAVE_LIBURING (a CMake probe that the
+// kernel uapi header and syscall numbers exist) and runtime-gated by a
+// once-cached io_uring_setup probe, so binaries built with the gate still
+// fall back cleanly on kernels without io_uring (ENOSYS) or in sandboxes
+// that filter it (EPERM).
+//
+// The executor owns one small thread_local ring per calling thread; callers
+// never share a ring, so submission needs no locking. ExecuteReads drives a
+// vector of absolute-offset reads to completion — short reads are
+// resubmitted, EINTR/EAGAIN retried — and reports per-op byte counts and
+// errno values. It returns false when the ring is unusable, in which case
+// the caller must run its own pread fallback (no ops were partially
+// consumed in a way the fallback cannot redo: `done` tracks progress and
+// the fallback may simply continue from it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace elsm::storage::uring {
+
+// One read of `len` bytes at absolute file offset `offset` into `buf`.
+// After ExecuteReads: `done` holds the bytes read (short means EOF) and
+// `err` a positive errno if the read failed (0 on success/EOF).
+struct ReadOp {
+  int fd = -1;
+  uint64_t offset = 0;
+  char* buf = nullptr;
+  size_t len = 0;
+  size_t done = 0;
+  int err = 0;
+};
+
+// True when this build has the io_uring ABI and the running kernel accepts
+// io_uring_setup. Cached after the first call.
+bool Available();
+
+// Runs every op to completion (or error) through this thread's ring.
+// Returns false without touching the ops when no ring is available.
+bool ExecuteReads(std::vector<ReadOp>& ops);
+
+}  // namespace elsm::storage::uring

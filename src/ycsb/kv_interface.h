@@ -72,6 +72,10 @@ class ElsmKv : public KvInterface {
   Result<std::optional<std::string>> Get(std::string_view key) override {
     return db_->Get(key);
   }
+  Result<std::vector<std::optional<std::string>>> MultiGet(
+      const std::vector<std::string>& keys) override {
+    return db_->MultiGet(keys);
+  }
   Result<size_t> Scan(std::string_view start_key, std::string_view end_key,
                       size_t limit) override {
     auto records = db_->Scan(start_key, end_key);
